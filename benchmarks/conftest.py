@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures or tables
+(``pytest benchmarks/ --benchmark-only``), prints the series/rows the
+paper reports, saves them under ``benchmarks/results/`` and asserts the
+paper's *qualitative* claims (who wins, where the knee is, by what
+factor) — absolute numbers are simulator-calibrated, not testbed
+numbers.
+
+Set ``REPRO_BENCH_QUICK=1`` for a coarse, fast pass.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def quick_mode() -> bool:
+    """Whether to run the scaled-down benchmark settings."""
+    return os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "")
+
+
+def report(name: str, text: str) -> None:
+    """Print a rendered figure/table and persist it for later reading."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    print(f"[saved to {path}]")

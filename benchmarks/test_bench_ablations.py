@@ -1,0 +1,202 @@
+"""Ablation benchmarks for IDEM's design choices (beyond the paper's plots).
+
+DESIGN.md calls out four load-bearing mechanisms; each ablation removes
+or varies one and measures the effect:
+
+* optimistic vs pessimistic clients (Section 5.3's trade-off),
+* the forward timeout (Section 5.2's delayed forwarding),
+* the recently-rejected cache (Section 5.2),
+* AQM vs plain tail drop at full strength (Section 5.1).
+"""
+
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.experiments import common
+
+from benchmarks.conftest import report
+
+OVERLOAD_CLIENTS = 200  # 4x baseline: rejection active throughout
+
+
+def measure(system: str, seed: int = 0, **overrides):
+    return run_experiment(
+        RunSpec(
+            system=system,
+            clients=OVERLOAD_CLIENTS,
+            duration=1.0,
+            warmup=0.3,
+            seed=seed,
+            overrides=overrides,
+        )
+    )
+
+
+def test_ablation_batch_size(benchmark):
+    """Leader batching is what amortises agreement costs; too small a
+    batch burns the leader's CPU on per-batch overheads."""
+
+    def run():
+        return {
+            batch: measure("idem", batch_max=batch)
+            for batch in (4, 32, 128)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: leader batch size (batch_max)"]
+    for batch, result in sorted(results.items()):
+        lines.append(
+            f"  {batch:4d}: {result.throughput_kops:5.1f}k req/s @ "
+            f"{result.latency.mean * 1e3:5.2f} ms"
+        )
+    report("ablation_batch_size", "\n".join(lines))
+    # Tiny batches cost throughput; large ones stop helping.
+    assert results[4].throughput < results[32].throughput
+    assert results[128].throughput > 0.9 * results[32].throughput
+
+
+def test_ablation_optimistic_vs_pessimistic_clients(benchmark):
+    """Optimistic clients trade reject latency for success rate."""
+
+    def run():
+        return measure("idem"), measure("idem-pessimistic")
+
+    optimistic, pessimistic = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation: client strategy in the ambivalence state",
+        f"  optimistic : {optimistic.throughput_kops:5.1f}k req/s, "
+        f"reject latency {optimistic.reject_latency.mean * 1e3:5.2f} ms, "
+        f"rejects {optimistic.reject_throughput:6.0f}/s",
+        f"  pessimistic: {pessimistic.throughput_kops:5.1f}k req/s, "
+        f"reject latency {pessimistic.reject_latency.mean * 1e3:5.2f} ms, "
+        f"rejects {pessimistic.reject_throughput:6.0f}/s",
+    ]
+    report("ablation_client_strategy", "\n".join(lines))
+    # Pessimistic aborts immediately at n-f rejects: lower reject latency.
+    assert pessimistic.reject_latency.mean < optimistic.reject_latency.mean
+    # The optimistic grace converts some would-be rejections into
+    # successes (or at least never fewer).
+    assert optimistic.reject_throughput <= pessimistic.reject_throughput * 1.05
+
+
+def test_ablation_forward_timeout(benchmark):
+    """A shorter forward timeout resolves split acceptance sooner."""
+
+    def run():
+        return {
+            timeout: measure("idem", forward_timeout=timeout)
+            for timeout in (0.002, 0.010, 0.040)
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation: forward timeout (delayed forwarding)"]
+    for timeout, result in sorted(results.items()):
+        forwards = sum(s["forwards"] for s in result.replica_stats)
+        lines.append(
+            f"  {timeout * 1e3:4.0f} ms: {result.throughput_kops:5.1f}k req/s, "
+            f"reject latency {result.reject_latency.mean * 1e3:5.2f} ms, "
+            f"{forwards} forwards"
+        )
+    report("ablation_forward_timeout", "\n".join(lines))
+    # Shorter timeouts forward more aggressively.
+    forwards = {
+        timeout: sum(s["forwards"] for s in result.replica_stats)
+        for timeout, result in results.items()
+    }
+    assert forwards[0.002] >= forwards[0.040]
+    # Throughput is only mildly sensitive: forwarding is mostly off the
+    # critical path (a very long timeout pins split-accepted requests'
+    # slots, costing some capacity).
+    throughputs = [result.throughput for result in results.values()]
+    assert max(throughputs) < 1.3 * min(throughputs)
+
+
+def test_ablation_rejected_request_cache(benchmark):
+    """The reject cache avoids fetches when the group overrules a reject."""
+
+    def run():
+        with_cache = measure("idem", rejected_cache_size=256)
+        without_cache = measure("idem", rejected_cache_size=0)
+        return with_cache, without_cache
+
+    with_cache, without_cache = benchmark.pedantic(run, rounds=1, iterations=1)
+    fetches_with = sum(s["fetches"] for s in with_cache.replica_stats)
+    fetches_without = sum(s["fetches"] for s in without_cache.replica_stats)
+    report(
+        "ablation_reject_cache",
+        "Ablation: recently-rejected request cache\n"
+        f"  cache 256: {fetches_with} fetches, "
+        f"{with_cache.throughput_kops:5.1f}k req/s\n"
+        f"  cache   0: {fetches_without} fetches, "
+        f"{without_cache.throughput_kops:5.1f}k req/s",
+    )
+    assert fetches_with <= fetches_without
+    # Either way the protocol keeps its plateau.
+    assert with_cache.latency.mean * 1e3 < 2.0
+    assert without_cache.latency.mean * 1e3 < 2.0
+
+
+def test_ablation_adaptive_threshold_heals_misconfiguration(benchmark):
+    """The adaptive controller (automated Section 7.5) recovers the
+    healthy latency plateau from the Figure 9a misconfiguration."""
+
+    def run():
+        static = run_experiment(
+            RunSpec(
+                system="idem",
+                clients=300,
+                duration=2.5,
+                warmup=1.5,
+                seed=1,
+                overrides={"reject_threshold": 100},
+            )
+        )
+        adaptive = run_experiment(
+            RunSpec(
+                system="idem-adaptive",
+                clients=300,
+                duration=2.5,
+                warmup=1.5,
+                seed=1,
+                overrides={"reject_threshold": 100},
+            )
+        )
+        return static, adaptive
+
+    static, adaptive = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_adaptive",
+        "Ablation: adaptive reject threshold, misconfigured start (RT=100, 6x load)\n"
+        f"  static RT=100 : {static.throughput_kops:5.1f}k req/s @ "
+        f"{static.latency.mean * 1e3:5.2f} ms\n"
+        f"  adaptive      : {adaptive.throughput_kops:5.1f}k req/s @ "
+        f"{adaptive.latency.mean * 1e3:5.2f} ms",
+    )
+    assert adaptive.latency.mean < 0.5 * static.latency.mean
+    assert adaptive.latency.mean < 2.0e-3
+    assert adaptive.throughput > 0.7 * static.throughput
+
+
+def test_ablation_aqm_vs_taildrop_normal_case(benchmark):
+    """With all replicas alive, AQM and tail drop perform alike —
+    the difference only matters in the f+1 regime (Figure 10)."""
+
+    def run():
+        return (
+            common.averaged_point("idem", OVERLOAD_CLIENTS, runs=2, duration=1.0),
+            common.averaged_point(
+                "idem-noaqm", OVERLOAD_CLIENTS, runs=2, duration=1.0
+            ),
+        )
+
+    aqm, taildrop = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_aqm",
+        "Ablation: AQM vs tail drop (all replicas alive)\n"
+        f"  aqm     : {aqm.throughput_kops:5.1f}k req/s @ {aqm.latency_ms:.2f} ms, "
+        f"reject latency {aqm.reject_latency_ms:.2f} ms\n"
+        f"  taildrop: {taildrop.throughput_kops:5.1f}k req/s @ "
+        f"{taildrop.latency_ms:.2f} ms, "
+        f"reject latency {taildrop.reject_latency_ms:.2f} ms",
+    )
+    assert abs(aqm.throughput - taildrop.throughput) < 0.15 * taildrop.throughput
+    # AQM's unanimity nudge shows up as cheaper rejections even here.
+    assert aqm.reject_latency_ms <= taildrop.reject_latency_ms * 1.1

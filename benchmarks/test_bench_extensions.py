@@ -1,0 +1,143 @@
+"""Benchmarks for properties the paper claims in prose (no figure).
+
+* Client fairness under AQM (Section 5.1: "all clients having a similar
+  share of accepted and rejected requests over the runtime").
+* The leader-link bandwidth argument (Section 4.2: id-based agreement
+  removes the leader's dissemination bottleneck).
+"""
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.profile import ClusterProfile
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.experiments.common import jain_fairness
+
+from benchmarks.conftest import quick_mode, report
+
+
+def test_fairness_of_aqm_prioritisation(benchmark):
+    """Run IDEM under sustained 4x overload across several AQM time
+    slices and measure Jain's fairness index over per-client successes."""
+
+    def run():
+        # Fairness comes from the rotating prioritisation: the run must
+        # cover at least one full rotation (#groups x 2 s slices).
+        clients = 100 if quick_mode() else 200
+        groups = clients // 50
+        duration = groups * 2.0 + 0.75
+        cluster = build_cluster(
+            "idem",
+            clients,
+            seed=5,
+            stop_time=duration,
+            window_start=0.5,
+            window_end=duration,
+        )
+        cluster.run_until(duration)
+        return cluster
+
+    cluster = benchmark.pedantic(run, rounds=1, iterations=1)
+    successes = [client.successes for client in cluster.clients]
+    rejections = [client.rejections for client in cluster.clients]
+    success_fairness = jain_fairness([float(s) for s in successes])
+    lines = [
+        "Fairness under 4x overload (Jain's index, 1.0 = perfectly fair)",
+        f"  successes : {success_fairness:.3f} "
+        f"(min {min(successes)}, max {max(successes)})",
+        f"  rejections: {jain_fairness([float(r) for r in rejections]):.3f} "
+        f"(min {min(rejections)}, max {max(rejections)})",
+    ]
+    report("fairness", "\n".join(lines))
+    # Every client made progress and shares are even.
+    assert min(successes) > 0
+    assert success_fairness > 0.9
+
+
+def test_multileader_integration(benchmark):
+    """The related-work claim: collaborative rejection carries over to a
+    multi-leader protocol.  The Mencius-style variant must (1) spread
+    proposing and replying across all replicas, (2) keep the latency
+    plateau under overload, and (3) keep rejecting through a crash."""
+
+    def run():
+        duration = 2.0 if quick_mode() else 4.0
+        cluster = build_cluster(
+            "idem-multileader",
+            200,
+            seed=4,
+            stop_time=duration,
+            window_start=0.5,
+            window_end=duration,
+        )
+        cluster.run_until(duration)
+        from repro.experiments.fig10_replica_crash import measure_timeline
+
+        crash = measure_timeline(
+            "idem-multileader", 150, "follower", 6.5, 2.5, seed=4
+        )
+        return cluster, crash
+
+    cluster, crash = benchmark.pedantic(run, rounds=1, iterations=1)
+    proposals = [replica.stats["proposals"] for replica in cluster.replicas]
+    replies = [replica.stats["replies_sent"] for replica in cluster.replicas]
+    latency = cluster.metrics.latency_summary()
+    report(
+        "multileader",
+        "Multi-leader IDEM under 4x overload\n"
+        f"  proposals per replica: {proposals}\n"
+        f"  replies per replica  : {replies}\n"
+        f"  throughput {cluster.metrics.throughput() / 1e3:.1f}k req/s @ "
+        f"{latency.mean * 1e3:.2f} ms, rejects "
+        f"{cluster.metrics.reject_throughput():.0f}/s\n"
+        f"  crash: reject gap {crash.reject_downtime:.2f} s, post tput "
+        f"{crash.post_throughput / 1e3:.1f}k req/s",
+    )
+    # (1) no single proposer / responder
+    assert min(proposals) > 0 and max(proposals) < 2 * min(proposals)
+    assert min(replies) > 0
+    # (2) the plateau survives the ordering change
+    assert latency.mean < 2.0e-3
+    assert cluster.metrics.reject_throughput() > 0
+    # (3) rejection continuity across a crash
+    assert crash.reject_downtime < 0.5
+    assert crash.post_throughput > 0.5 * crash.pre_throughput
+
+
+def test_leader_link_bottleneck(benchmark):
+    """Constrain every node's egress link and compare throughput loss:
+    the full-request protocols lose far more than IDEM."""
+
+    def measure(system, bandwidth):
+        profile = ClusterProfile(egress_bandwidth=bandwidth)
+        result = run_experiment(
+            RunSpec(
+                system=system,
+                clients=75,
+                duration=1.0,
+                warmup=0.3,
+                seed=1,
+                profile=profile,
+            )
+        )
+        return result.throughput
+
+    def run():
+        data = {}
+        for system in ("idem", "paxos", "bftsmart"):
+            free = measure(system, None)
+            tight = measure(system, 40e6)  # ~a third of a 1 Gbit/s link
+            data[system] = (free, tight)
+        return data
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Throughput with unconstrained vs 40 MB/s egress links"]
+    losses = {}
+    for system, (free, tight) in data.items():
+        losses[system] = 1.0 - tight / free
+        lines.append(
+            f"  {system:9s}: {free / 1e3:5.1f}k -> {tight / 1e3:5.1f}k req/s "
+            f"({100 * losses[system]:.0f}% loss)"
+        )
+    report("leader_link", "\n".join(lines))
+    assert losses["paxos"] > 0.2
+    assert losses["bftsmart"] > 0.2
+    assert losses["idem"] < losses["paxos"] / 2

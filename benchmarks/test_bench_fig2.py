@@ -1,0 +1,30 @@
+"""Figure 2 benchmark: existing protocols' two service tiers.
+
+Paper claims (Section 3.1): below saturation Paxos offers low, stable
+latency (the good tier); past it, latency escalates with offered load
+(the bad tier).
+"""
+
+from repro.experiments import fig2_existing_protocols as fig2
+
+from benchmarks.conftest import quick_mode, report
+
+
+def test_fig2_existing_protocols_under_load(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig2.run(quick=quick_mode()), rounds=1, iterations=1
+    )
+    report("fig2", fig2.render(data))
+
+    points = data.points
+    knee = data.saturation_point()
+    heaviest = points[-1]
+    lightest = points[0]
+
+    # Good tier: latency under light load is low and near the knee's.
+    assert lightest.latency_ms < 1.5
+    assert lightest.latency_ms <= knee.latency_ms * 1.5
+    # Bad tier: at the heaviest load, latency has escalated by multiples.
+    assert heaviest.latency_ms > 3.0 * knee.latency_ms
+    # Throughput saturates: the heaviest point gains almost nothing.
+    assert heaviest.throughput <= knee.throughput * 1.05

@@ -1,0 +1,58 @@
+"""Figure 6 benchmark: the headline comparison under increasing load.
+
+Paper claims (Section 7.2):
+
+* Paxos and BFT-SMaRt perform poorly under overload — past their peak
+  throughput, latency escalates drastically (>600% of normal at 4x).
+* IDEM's latency plateaus once the rejection threshold is reached.
+* Rejection costs nothing below the threshold: IDEM and IDEM_noPR only
+  diverge after it.
+"""
+
+from repro.experiments import fig6_comparison as fig6
+
+from benchmarks.conftest import quick_mode, report
+
+
+def test_fig6_comparison_under_increasing_load(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig6.run(quick=quick_mode()), rounds=1, iterations=1
+    )
+    report("fig6", fig6.render(data))
+
+    # IDEM plateaus: latency at the heaviest load stays near the
+    # saturation level.
+    assert data.latency_at_max_load("idem") < 1.5 * data.latency_at_saturation("idem")
+
+    # The unprotected systems explode.
+    for system in ("idem-nopr", "paxos", "bftsmart"):
+        assert data.latency_at_max_load(system) > 2.5 * data.latency_at_saturation(
+            system
+        ), system
+
+    # Below-threshold overhead is negligible: IDEM's peak throughput is
+    # close to IDEM_noPR's.
+    assert data.max_throughput("idem") > 0.85 * data.max_throughput("idem-nopr")
+
+    # The production-library baseline saturates below the lean Paxos.
+    assert data.max_throughput("bftsmart") < data.max_throughput("paxos")
+
+    # Everyone lands in the paper's throughput regime (tens of k req/s).
+    for system in fig6.SYSTEMS:
+        assert 20_000 < data.max_throughput(system) < 100_000, system
+
+
+def test_fig6_idem_and_nopr_identical_below_threshold(benchmark):
+    from repro.experiments import common
+
+    def measure():
+        idem = common.averaged_point("idem", 25, runs=2, duration=0.8, warmup=0.25)
+        nopr = common.averaged_point(
+            "idem-nopr", 25, runs=2, duration=0.8, warmup=0.25
+        )
+        return idem, nopr
+
+    idem, nopr = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert abs(idem.throughput - nopr.throughput) / nopr.throughput < 0.02
+    assert abs(idem.latency_ms - nopr.latency_ms) / nopr.latency_ms < 0.05
+    assert idem.reject_throughput == 0

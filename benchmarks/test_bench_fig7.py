@@ -1,0 +1,42 @@
+"""Figure 7 benchmark: reject behaviour in IDEM under increasing load.
+
+Paper claims (Section 7.3):
+
+* Reject latency is stable across overload levels (1.3-1.5 ms there,
+  i.e. the same range as a timely reply) even at 8x the baseline load.
+* Rejects stay a small share of total operations: <3% in moderate
+  overload, around 10% at a client-load factor of 8 — because rejected
+  clients back off and relieve the system.
+"""
+
+from repro.experiments import fig7_reject_behavior as fig7
+
+from benchmarks.conftest import quick_mode, report
+
+
+def test_fig7_reject_behavior(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig7.run(quick=quick_mode()), rounds=1, iterations=1
+    )
+    report("fig7", fig7.render(data))
+
+    rejecting = [p for p in data.points if p.reject_throughput > 0]
+    assert rejecting, "overload must produce rejections"
+
+    # Stability: reject latency varies little across overload levels.
+    latencies = [p.reject_latency_ms for p in rejecting]
+    assert max(latencies) < 2.5 * min(latencies)
+    # Same range as a timely result (allowing the optimistic 5 ms grace
+    # to skew the mean upward).
+    for point in rejecting:
+        assert point.reject_latency_ms < 5.0 * point.latency_ms
+
+    # Reject share: moderate at 8x, small in moderate overload.
+    heavy = data.point_at(8.0)
+    assert 0.02 < heavy.reject_share < 0.25
+    moderate = data.point_at(2.0)
+    assert moderate.reject_share < 0.05
+
+    # Reply latency stays on the plateau throughout.
+    for point in data.points:
+        assert point.latency_ms < 2.0

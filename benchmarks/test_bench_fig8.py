@@ -1,0 +1,42 @@
+"""Figure 8 benchmark: the reject threshold trades throughput for latency.
+
+Paper claims (Section 7.5): RT=50 and RT=75 both plateau, RT=75 with
+more throughput at slightly higher latency; RT=20 restricts throughput
+to roughly 2/3 of the maximum but pins latency near the floor; below
+the threshold all configurations perform identically.
+"""
+
+from repro.experiments import fig8_threshold as fig8
+
+from benchmarks.conftest import quick_mode, report
+
+
+def test_fig8_reject_threshold_variation(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig8.run(quick=quick_mode()), rounds=1, iterations=1
+    )
+    report("fig8", fig8.render(data))
+
+    thresholds = sorted(data.curves)
+    low, high = thresholds[0], thresholds[-1]
+
+    # A higher threshold buys throughput...
+    assert data.max_throughput(high) > data.max_throughput(low)
+    # ...at a higher latency plateau.
+    assert data.plateau_latency(high) > data.plateau_latency(low)
+
+    # The conservative threshold still reaches a substantial fraction
+    # of the maximum (paper: RT=20 gives ~65%).
+    ratio = data.max_throughput(low) / data.max_throughput(high)
+    assert 0.4 < ratio < 0.95
+
+    # Every configuration plateaus rather than exploding.
+    for threshold, points in data.curves.items():
+        saturated = [p for p in points if p.reject_throughput > 0]
+        if len(saturated) >= 2:
+            assert saturated[-1].latency_ms < 1.6 * saturated[0].latency_ms, threshold
+
+    # Below the threshold the curves coincide.
+    lightest = {t: points[0] for t, points in data.curves.items()}
+    latencies = [p.latency_ms for p in lightest.values()]
+    assert max(latencies) < 1.1 * min(latencies)

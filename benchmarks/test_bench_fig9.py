@@ -1,0 +1,50 @@
+"""Figure 9 benchmark: IDEM under disruptive conditions.
+
+Paper claims (Section 7.6):
+
+* Misconfigured threshold (RT=100, above what the cluster can handle):
+  latency climbs past the healthy plateau before rejection slows the
+  growth — but there is no Paxos-style explosion.
+* Extreme load (up to 14x): throughput degrades gracefully (≈55% of
+  peak at 14x there) while latency stays low, because most clients are
+  rejected quickly and back off.
+"""
+
+from repro.experiments import fig9_disruptive as fig9
+
+from benchmarks.conftest import quick_mode, report
+
+
+def test_fig9_disruptive_conditions(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig9.run(quick=quick_mode()), rounds=1, iterations=1
+    )
+    report("fig9", fig9.render(data))
+
+    # 9a: the misconfigured threshold costs latency — the system runs
+    # past its healthy plateau before rejection bites...
+    base = data.misconfigured[0]
+    worst = max(point.latency_ms for point in data.misconfigured)
+    assert worst > 1.3 * base.latency_ms
+    # ...but throughput never collapses (no metastable failure): the
+    # system keeps serving at its peak rate throughout.
+    peak = max(point.throughput for point in data.misconfigured)
+    assert min(point.throughput for point in data.misconfigured) > 0.8 * peak
+    # Rejection does activate once the load is high enough.
+    heavy = data.misconfigured[-1]
+    assert heavy.reject_throughput > 0
+    # NOTE: the paper measured a stronger arrest (latency held near
+    # 2 ms between 4x and 6x).  In this reproduction the leader's CPU
+    # queue dominates once RT exceeds the sustainable active level, so
+    # latency keeps growing with load, though without collapse; see
+    # EXPERIMENTS.md for the discussion of this deviation.
+
+    # 9b: graceful degradation under extreme load.
+    final = data.extreme_final()
+    peak = data.extreme_peak_throughput()
+    assert final.throughput > 0.4 * peak
+    assert final.latency_ms < 2.0
+    # Heavier load -> no latency explosion anywhere on the curve.
+    assert max(point.latency_ms for point in data.extreme) < 2.0
+    # The last point is the heaviest and rejects substantially.
+    assert final.reject_share > 0.05

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These are conventional pytest-benchmark measurements (multiple rounds)
+of the hot paths that bound how much simulated traffic a wall-clock
+second buys: event dispatch, processor jobs, the network send path and
+a small end-to-end cluster slice.  They guard against performance
+regressions that would silently make the experiment suite crawl.
+"""
+
+from repro.net.addresses import replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.message import Message
+from repro.net.network import Network, NetworkNode
+from repro.sim.loop import EventLoop
+from repro.sim.processor import Processor
+from repro.sim.rng import RngRegistry
+
+
+def test_event_loop_dispatch_rate(benchmark):
+    def run():
+        loop = EventLoop()
+        for i in range(10_000):
+            loop.call_at(i * 1e-6, _nothing)
+        loop.run_until(1.0)
+        return loop.dispatched_events
+
+    dispatched = benchmark(run)
+    assert dispatched == 10_000
+
+
+def _nothing():
+    pass
+
+
+def test_processor_job_rate(benchmark):
+    def run():
+        loop = EventLoop()
+        cpu = Processor(loop)
+        for _ in range(10_000):
+            cpu.submit(1e-6, _nothing)
+        loop.run_until(1.0)
+        return cpu.jobs_completed
+
+    completed = benchmark(run)
+    assert completed == 10_000
+
+
+class _Sink(NetworkNode):
+    def __init__(self, address):
+        self.address = address
+        self.received = 0
+
+    def deliver(self, src, message):
+        self.received += 1
+
+
+class _Probe(Message):
+    __slots__ = ()
+
+
+def test_network_send_path(benchmark):
+    def run():
+        loop = EventLoop()
+        network = Network(loop, RngRegistry(1), latency_model=ConstantLatency(1e-6))
+        a, b = _Sink(replica_address(0)), _Sink(replica_address(1))
+        network.attach(a)
+        network.attach(b)
+        message = _Probe()
+        for _ in range(10_000):
+            network.send(a.address, b.address, message)
+        loop.run_until(1.0)
+        return b.received
+
+    received = benchmark(run)
+    assert received == 10_000
+
+
+def test_end_to_end_cluster_slice(benchmark):
+    """A short IDEM slice: how much wall time 0.1 s of loaded cluster costs."""
+    from repro.cluster.builder import build_cluster
+
+    def run():
+        cluster = build_cluster("idem", 20, seed=1, stop_time=0.1)
+        cluster.run_until(0.1)
+        return cluster.metrics.reply_counter.total()
+
+    replies = benchmark(run)
+    assert replies > 100

@@ -1,0 +1,42 @@
+"""Table 1 benchmark: rejection-mechanism network overhead.
+
+Paper claims (Section 7.4): for a fixed number of completed requests,
+IDEM's total network traffic is indistinguishable from IDEM_noPR's
+(run-to-run variation there was 2-3%) at medium load, high load and
+overload — the forwarding optimisations and the low reject volume keep
+the mechanism's traffic negligible.
+"""
+
+from repro.experiments import tab1_overhead as tab1
+
+from benchmarks.conftest import quick_mode, report
+
+
+def test_tab1_rejection_traffic_overhead(benchmark):
+    data = benchmark.pedantic(
+        lambda: tab1.run(quick=quick_mode()), rounds=1, iterations=1
+    )
+    report("tab1", tab1.render(data))
+
+    for load_label, _clients in tab1.LOADS:
+        idem = data.cell("idem", load_label)
+        nopr = data.cell("idem-nopr", load_label)
+        overhead = (
+            idem.bytes_per_request - nopr.bytes_per_request
+        ) / nopr.bytes_per_request
+        # No visible difference: within 10% even under overload, where
+        # rejected-and-resubmitted requests add their multicasts.
+        assert abs(overhead) < 0.10, (load_label, overhead)
+
+    # Below the threshold the two systems are byte-identical workloads.
+    for label in ("medium (0.5x)", "high (1x)"):
+        idem = data.cell("idem", label)
+        nopr = data.cell("idem-nopr", label)
+        assert abs(idem.bytes_per_request - nopr.bytes_per_request) < (
+            0.03 * nopr.bytes_per_request
+        )
+
+    # Sanity: traffic per request lands in the paper's ballpark
+    # (~3.2 KB/request -> ~3.2 GB per million).
+    high = data.cell("idem", "high (1x)")
+    assert 1.0 < high.projected_gb_per_million < 10.0

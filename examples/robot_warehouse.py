@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Robot warehouse: semi-autonomous robots with a sensor fallback.
+
+The scenario from Section 2.3 of the paper: robots query a replicated
+route-planning service.  A timely answer routes the robot optimally;
+when the service is overloaded (or a replica crashes) the robot falls
+back to Lidar-based local navigation, which keeps it moving but on a
+worse route.
+
+The experiment drives a fleet of robots through a shift with periodic
+order bursts (4x the base fleet activity) and a mid-shift leader crash,
+once on IDEM and once on IDEM with rejection disabled.  The quality
+metric is simple: how many navigation decisions were made with a fresh
+service answer vs. the sensor fallback vs. no answer at all (a stale
+timeout — the worst case, the robot stalls).
+
+Run:  python examples/robot_warehouse.py
+"""
+
+from repro import FaultSchedule, build_cluster
+from repro.workload.schedule import BurstSchedule
+
+SHIFT_SECONDS = 12.0
+CRASH_AT = 6.0
+BASE_ROBOTS = 30
+BURST_ROBOTS = 170  # a wave of incoming orders activates idle robots
+
+
+class RobotFleet:
+    """Aggregates fallback activations across all robots."""
+
+    def __init__(self) -> None:
+        self.fallback_activations = 0
+
+    def fallback_for(self, robot_id: int):
+        def navigate_locally(command) -> None:
+            # Lidar navigation: the robot keeps moving without the
+            # coordinator's globally optimal route.
+            self.fallback_activations += 1
+
+        return navigate_locally
+
+
+def run_shift(system: str) -> dict:
+    fleet = RobotFleet()
+    schedule = BurstSchedule(
+        base=BASE_ROBOTS, burst=BURST_ROBOTS, period=4.0, burst_duration=1.5
+    )
+    cluster = build_cluster(
+        system,
+        schedule.max_clients(),
+        seed=7,
+        schedule=schedule,
+        stop_time=SHIFT_SECONDS,
+        window_start=0.5,
+        window_end=SHIFT_SECONDS,
+        fallback_factory=fleet.fallback_for,
+    )
+    FaultSchedule().crash_leader(CRASH_AT).install(cluster)
+    cluster.run_until(SHIFT_SECONDS)
+    routed = sum(robot.successes for robot in cluster.clients)
+    rejected = sum(robot.rejections for robot in cluster.clients)
+    stalled = sum(robot.timeouts for robot in cluster.clients)
+    latency = cluster.metrics.latency_summary()
+    reject_latency = cluster.metrics.reject_latency_summary()
+    return {
+        "routed": routed,
+        "fallbacks": fleet.fallback_activations,
+        "rejected": rejected,
+        "stalled": stalled,
+        "latency_ms": latency.mean * 1e3,
+        "p99_ms": latency.p99 * 1e3,
+        "reject_latency_ms": reject_latency.mean * 1e3,
+    }
+
+
+def main() -> None:
+    print(f"Warehouse shift: {BASE_ROBOTS} robots, order bursts of "
+          f"+{BURST_ROBOTS}, leader crash at t={CRASH_AT:.0f}s\n")
+    for system in ("idem", "idem-nopr"):
+        stats = run_shift(system)
+        decisions = stats["routed"] + stats["rejected"] + stats["stalled"]
+        print(f"[{system}]")
+        print(f"  navigation decisions        {decisions}")
+        print(f"  optimally routed            {stats['routed']} "
+              f"({100 * stats['routed'] / decisions:.1f}%)")
+        print(f"  sensor fallback (rejected)  {stats['rejected']} "
+              f"(notified after {stats['reject_latency_ms']:.2f} ms on average)")
+        print(f"  stalled (no answer at all)  {stats['stalled']}")
+        print(f"  route latency               {stats['latency_ms']:.2f} ms "
+              f"(p99 {stats['p99_ms']:.2f} ms)")
+        print()
+    print("With IDEM, a robot that cannot be served learns it within about a")
+    print("millisecond and switches to Lidar navigation; without proactive")
+    print("rejection the burst drives route latency up for the whole fleet —")
+    print("stale routes are wrong routes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim: metadata lives in pyproject.toml.
+
+Kept so that editable installs work offline with old setuptools/pip
+combinations that cannot build PEP 660 wheels.
+"""
+
+from setuptools import setup
+
+setup()

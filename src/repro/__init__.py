@@ -1,0 +1,46 @@
+"""IDEM: targeting tail latency in replicated systems with proactive rejection.
+
+A from-scratch Python reproduction of Lawniczak and Distler,
+MIDDLEWARE '24 — the IDEM replication protocol with collaborative
+proactive rejection, its baselines (Paxos, Paxos_LBR, BFT-SMaRt-like),
+and the full evaluation, all running on a deterministic discrete-event
+simulator.
+
+Quickstart::
+
+    from repro import RunSpec, run_experiment
+
+    result = run_experiment(RunSpec(system="idem", clients=100))
+    print(result.describe())
+
+See ``examples/`` for richer scenarios and ``repro.experiments`` for the
+paper's figures and tables.
+"""
+
+from repro.cluster.builder import SYSTEMS, Cluster, build_cluster
+from repro.cluster.faults import CrashFault, FaultSchedule
+from repro.cluster.metrics import ExperimentResult, MetricsCollector
+from repro.cluster.profile import ClusterProfile
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.core.client import IdemClient
+from repro.core.config import IdemConfig
+from repro.core.replica import IdemReplica
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterProfile",
+    "CrashFault",
+    "ExperimentResult",
+    "FaultSchedule",
+    "IdemClient",
+    "IdemConfig",
+    "IdemReplica",
+    "MetricsCollector",
+    "RunSpec",
+    "SYSTEMS",
+    "__version__",
+    "build_cluster",
+    "run_experiment",
+]

@@ -1,0 +1,20 @@
+"""Replicated applications (the deterministic state machines).
+
+The paper's evaluation replicates a key-value store driven by YCSB
+(Section 7.1); :class:`KeyValueStore` implements it.  A trivial
+:class:`CounterApp` is provided for tests and the quickstart example.
+"""
+
+from repro.app.commands import Command, CommandResult, KvOp
+from repro.app.counter import CounterApp
+from repro.app.kvstore import KeyValueStore
+from repro.app.state_machine import StateMachine
+
+__all__ = [
+    "Command",
+    "CommandResult",
+    "CounterApp",
+    "KeyValueStore",
+    "KvOp",
+    "StateMachine",
+]

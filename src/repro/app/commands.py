@@ -1,0 +1,47 @@
+"""Command and result types exchanged between clients and state machines.
+
+Commands model their *sizes* explicitly because the simulator meters
+traffic byte-accurately (Table 1); the actual stored values are
+irrelevant to every experiment, so the store keeps sizes, not blobs.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import NamedTuple, Optional
+
+
+class KvOp(Enum):
+    """Key-value store operation types (the YCSB core operations)."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    INCREMENT = "increment"  # used by CounterApp
+
+
+class Command(NamedTuple):
+    """An application command as carried inside a REQUEST.
+
+    ``value_size`` is the size in bytes of the value written (for
+    updates/inserts) and contributes to the request's wire size;
+    ``scan_length`` is the number of records a SCAN touches.
+    """
+
+    op: KvOp
+    key: str
+    value_size: int = 0
+    scan_length: int = 0
+
+    def payload_bytes(self) -> int:
+        """Contribution of this command to the enclosing message's size."""
+        return 1 + len(self.key) + self.value_size
+
+
+class CommandResult(NamedTuple):
+    """The outcome of executing a command on a state machine."""
+
+    ok: bool
+    reply_bytes: int
+    value_size: Optional[int] = None

@@ -1,0 +1,50 @@
+"""A minimal replicated counter application.
+
+Used by tests and the quickstart example where the focus is protocol
+behaviour rather than workload realism.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.commands import Command, CommandResult, KvOp
+from repro.app.state_machine import StateMachine
+
+
+class CounterApp(StateMachine):
+    """One integer counter per key; INCREMENT adds one, READ returns it."""
+
+    def __init__(self, base_execution_cost: float = 1e-6):
+        self.base_execution_cost = base_execution_cost
+        self._counters: dict[str, int] = {}
+        self.operations_applied = 0
+
+    def value(self, key: str) -> int:
+        """Current value of the counter under ``key`` (0 if never touched)."""
+        return self._counters.get(key, 0)
+
+    def apply(self, command: Command) -> CommandResult:
+        self.operations_applied += 1
+        if command.op is KvOp.INCREMENT:
+            self._counters[command.key] = self._counters.get(command.key, 0) + 1
+            return CommandResult(ok=True, reply_bytes=9, value_size=self._counters[command.key])
+        if command.op is KvOp.READ:
+            return CommandResult(ok=True, reply_bytes=9, value_size=self.value(command.key))
+        raise ValueError(f"counter app cannot execute {command.op}")
+
+    def execution_cost(self, command: Command) -> float:
+        return self.base_execution_cost
+
+    def snapshot(self) -> Any:
+        return dict(self._counters)
+
+    def restore(self, snapshot: Any) -> None:
+        self._counters = dict(snapshot)
+
+    def snapshot_bytes(self) -> int:
+        return sum(len(key) + 8 for key in self._counters)
+
+    def digest(self) -> int:
+        """Order-insensitive digest of the counter state."""
+        return hash(frozenset(self._counters.items()))

@@ -1,0 +1,38 @@
+"""The deterministic state-machine interface replicas execute against.
+
+Replication protocols call :meth:`StateMachine.apply` for every ordered
+command and use :meth:`snapshot` / :meth:`restore` for checkpointing
+(Section 4.4 of the paper).  Implementations must be deterministic:
+identical command sequences must produce identical states and results.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.app.commands import Command, CommandResult
+
+
+class StateMachine(ABC):
+    """A deterministic application replicated by the protocols."""
+
+    @abstractmethod
+    def apply(self, command: Command) -> CommandResult:
+        """Execute one command and return its result."""
+
+    @abstractmethod
+    def execution_cost(self, command: Command) -> float:
+        """Simulated CPU seconds executing ``command`` costs a replica."""
+
+    @abstractmethod
+    def snapshot(self) -> Any:
+        """Produce a checkpointable copy of the full application state."""
+
+    @abstractmethod
+    def restore(self, snapshot: Any) -> None:
+        """Replace the application state with a snapshot."""
+
+    @abstractmethod
+    def snapshot_bytes(self) -> int:
+        """Approximate serialized size of a snapshot (for transfer costs)."""

@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Usage::
+
+    repro-experiments fig6            # one experiment, full settings
+    repro-experiments all --quick     # everything, scaled-down
+    repro-experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the IDEM paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="scaled-down settings (faster, coarser)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=None,
+        help="seeded runs per data point (default: REPRO_RUNS or 2)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="measured seconds per steady-state run (default: REPRO_DURATION or 1.0)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's raw data as JSON into DIR",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.runs is not None:
+        os.environ["REPRO_RUNS"] = str(args.runs)
+    if args.duration is not None:
+        os.environ["REPRO_DURATION"] = str(args.duration)
+
+    if args.list:
+        for experiment_id, module in EXPERIMENTS.items():
+            headline = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{experiment_id:6s} {headline}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if any(experiment_id not in EXPERIMENTS for experiment_id in ids):
+        bad = [i for i in ids if i not in EXPERIMENTS]
+        print(f"unknown experiment(s): {bad}; use --list", file=sys.stderr)
+        return 2
+
+    for experiment_id in ids:
+        started = time.time()
+        module = EXPERIMENTS[experiment_id]
+        data = module.run(quick=args.quick, seed0=args.seed)
+        elapsed = time.time() - started
+        print(module.render(data))
+        if args.json:
+            from repro.experiments.io import save_json
+
+            path = save_json(data, f"{args.json}/{experiment_id}.json")
+            print(f"[raw data saved to {path}]")
+        print(f"\n[{experiment_id} finished in {elapsed:.1f}s wall time]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""Experiment harness: cluster assembly, fault injection, metrics, runner."""
+
+from repro.cluster.builder import SYSTEMS, build_cluster
+from repro.cluster.faults import CrashFault, FaultSchedule
+from repro.cluster.metrics import ExperimentResult, MetricsCollector
+from repro.cluster.profile import ClusterProfile
+from repro.cluster.runner import RunSpec, run_experiment
+
+__all__ = [
+    "ClusterProfile",
+    "CrashFault",
+    "ExperimentResult",
+    "FaultSchedule",
+    "MetricsCollector",
+    "RunSpec",
+    "SYSTEMS",
+    "build_cluster",
+    "run_experiment",
+]

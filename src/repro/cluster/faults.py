@@ -1,0 +1,83 @@
+"""Fault injection for experiments.
+
+The paper's crash experiments (Figures 3 and 10) deliberately crash the
+leader or a follower mid-run.  Targets are resolved *at crash time*
+against the current view, so "leader" means whoever leads when the
+fault fires — even if earlier faults already moved the leadership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+LEADER = "leader"
+FOLLOWER = "follower"
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash one replica at an absolute simulated time.
+
+    ``target`` is a replica index, ``"leader"`` or ``"follower"``.
+    """
+
+    time: float
+    target: Union[int, str]
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.time}")
+        if isinstance(self.target, str) and self.target not in (LEADER, FOLLOWER):
+            raise ValueError(f"unknown crash target: {self.target!r}")
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of faults applied to a cluster."""
+
+    faults: list[CrashFault] = field(default_factory=list)
+
+    def crash_leader(self, at: float) -> "FaultSchedule":
+        """Add a leader crash at time ``at`` (chainable)."""
+        self.faults.append(CrashFault(at, LEADER))
+        return self
+
+    def crash_follower(self, at: float) -> "FaultSchedule":
+        """Add a follower crash at time ``at`` (chainable)."""
+        self.faults.append(CrashFault(at, FOLLOWER))
+        return self
+
+    def crash_replica(self, at: float, index: int) -> "FaultSchedule":
+        """Add a crash of a specific replica at time ``at`` (chainable)."""
+        self.faults.append(CrashFault(at, index))
+        return self
+
+    def install(self, cluster) -> None:
+        """Schedule all faults on the cluster's event loop."""
+        for fault in self.faults:
+            cluster.loop.call_at(fault.time, self._fire, cluster, fault)
+
+    @staticmethod
+    def _fire(cluster, fault: CrashFault) -> None:
+        index = resolve_target(cluster, fault.target)
+        if index is not None:
+            cluster.crash_replica(index)
+
+
+def resolve_target(cluster, target: Union[int, str]) -> Union[int, None]:
+    """Resolve a crash target to a replica index against the live view."""
+    alive = [replica for replica in cluster.replicas if not replica.halted]
+    if not alive:
+        return None
+    if isinstance(target, int):
+        return target if not cluster.replicas[target].halted else None
+    current_view = max(replica.view for replica in alive)
+    leader_index = current_view % len(cluster.replicas)
+    if target == LEADER:
+        candidate = cluster.replicas[leader_index]
+        return leader_index if not candidate.halted else None
+    for replica in alive:
+        if replica.index != leader_index:
+            return replica.index
+    return None

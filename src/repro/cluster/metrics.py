@@ -1,0 +1,153 @@
+"""Client-side measurement for experiments.
+
+All clients of a run report request outcomes into one
+:class:`MetricsCollector`; the collector maintains exactly the artefacts
+the paper plots: latency summaries and throughput over a measurement
+window, reject latency/throughput, and bucketed time series for the
+crash timelines.  End-to-end latency is measured the way the paper does
+(Section 7.3): from the client sending its request until it either
+receives a usable reply or abandons the operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.monitor import (
+    CounterSeries,
+    IntervalRecorder,
+    LatencyRecorder,
+    SummaryStats,
+)
+
+
+class MetricsCollector:
+    """Aggregates request outcomes from all clients of one run."""
+
+    def __init__(
+        self,
+        window_start: float = 0.0,
+        window_end: float = float("inf"),
+        bucket_width: float = 0.25,
+    ):
+        self.window_start = window_start
+        self.window_end = window_end
+        # Successful operations.
+        self.reply_latency = LatencyRecorder(window_start, window_end)
+        self.reply_counter = CounterSeries(bucket_width)
+        self._reply_latency_sums: dict[int, float] = {}
+        # Rejected (aborted) operations.
+        self.reject_latency = LatencyRecorder(window_start, window_end)
+        self.reject_counter = CounterSeries(bucket_width)
+        self._reject_latency_sums: dict[int, float] = {}
+        self.reject_gaps = IntervalRecorder()
+        # Timeouts.
+        self.timeouts = 0
+        self.timeout_counter = CounterSeries(bucket_width)
+        self.bucket_width = bucket_width
+        self.first_reject_time: Optional[float] = None
+
+    # -- recording ---------------------------------------------------
+
+    def record_success(self, time: float, latency: float) -> None:
+        """A client received a usable reply ``latency`` seconds after sending."""
+        self.reply_latency.record(time, latency)
+        self.reply_counter.record(time)
+        bucket = int(time / self.bucket_width)
+        self._reply_latency_sums[bucket] = (
+            self._reply_latency_sums.get(bucket, 0.0) + latency
+        )
+
+    def record_reject(self, time: float, latency: float) -> None:
+        """A client abandoned an operation due to rejection."""
+        self.reject_latency.record(time, latency)
+        self.reject_counter.record(time)
+        bucket = int(time / self.bucket_width)
+        self._reject_latency_sums[bucket] = (
+            self._reject_latency_sums.get(bucket, 0.0) + latency
+        )
+        if self.first_reject_time is None:
+            self.first_reject_time = time
+
+    def note_reject_message(self, time: float) -> None:
+        """Any REJECT notification reached any client (for downtime gaps)."""
+        self.reject_gaps.record(time)
+
+    def record_timeout(self, time: float) -> None:
+        """A client gave up on an operation without reply or rejection."""
+        self.timeouts += 1
+        self.timeout_counter.record(time)
+
+    # -- summaries ---------------------------------------------------
+
+    def throughput(self) -> float:
+        """Successful requests per second over the measurement window."""
+        return self.reply_counter.rate_between(self.window_start, self.window_end)
+
+    def reject_throughput(self) -> float:
+        """Aborted (rejected) operations per second over the window."""
+        return self.reject_counter.rate_between(self.window_start, self.window_end)
+
+    def latency_summary(self) -> SummaryStats:
+        """Latency statistics of successful operations in the window."""
+        return self.reply_latency.summary()
+
+    def reject_latency_summary(self) -> SummaryStats:
+        """Latency statistics of rejected operations in the window."""
+        return self.reject_latency.summary()
+
+    def latency_timeline(self) -> list[tuple[float, float]]:
+        """Mean reply latency per time bucket (crash-timeline plots)."""
+        return self._timeline(self._reply_latency_sums, self.reply_counter)
+
+    def reject_latency_timeline(self) -> list[tuple[float, float]]:
+        """Mean reject latency per time bucket (Figure 10d)."""
+        return self._timeline(self._reject_latency_sums, self.reject_counter)
+
+    def _timeline(
+        self, sums: dict[int, float], counter: CounterSeries
+    ) -> list[tuple[float, float]]:
+        result = []
+        for bucket in sorted(sums):
+            count = counter.count_in_bucket(bucket)
+            if count:
+                result.append((bucket * self.bucket_width, sums[bucket] / count))
+        return result
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one run, as consumed by experiments and benches."""
+
+    system: str
+    clients: int
+    seed: int
+    duration: float
+    warmup: float
+    throughput: float
+    latency: SummaryStats
+    reject_throughput: float
+    reject_latency: SummaryStats
+    timeouts: int
+    traffic: dict[str, int]
+    replica_stats: list[dict[str, float]] = field(default_factory=list)
+    metrics: Optional[MetricsCollector] = None
+
+    @property
+    def latency_ms(self) -> float:
+        """Mean reply latency in milliseconds."""
+        return self.latency.mean * 1e3
+
+    @property
+    def throughput_kops(self) -> float:
+        """Successful throughput in thousands of requests per second."""
+        return self.throughput / 1e3
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.system}: {self.clients} clients -> "
+            f"{self.throughput_kops:.1f}k req/s @ {self.latency_ms:.2f} ms "
+            f"(rejects {self.reject_throughput:.0f}/s)"
+        )

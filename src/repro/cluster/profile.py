@@ -1,0 +1,62 @@
+"""The simulated cluster profile (the "hardware" of an experiment).
+
+Collects every environment parameter that is *not* a protocol knob: the
+network latency distribution, the CPU cost model, the workload shape.
+The defaults are calibrated so that the 3-replica cluster saturates in
+the same regime as the paper's testbed (tens of thousands of requests
+per second at around a millisecond with 50 closed-loop clients); see
+``tests/test_calibration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.latency import LatencyModel, LogNormalLatency
+from repro.workload.ycsb import WORKLOAD_UPDATE_HEAVY, YcsbProfile
+
+
+@dataclass
+class ClusterProfile:
+    """Environment parameters shared by all systems in a comparison."""
+
+    n: int = 3
+    f: int = 1
+    # Network: datacenter-like one-way latencies.
+    latency_median: float = 80e-6
+    latency_sigma: float = 0.25
+    latency_floor: float = 20e-6
+    loss_probability: float = 0.0
+    # Optional per-node egress link capacity in bytes/second (None = no
+    # serialisation delay).  Set to e.g. 125e6 (1 Gbit/s) to expose the
+    # leader-link bottleneck of full-request protocols (Section 4.2).
+    egress_bandwidth: float | None = None
+    # CPU cost model (seconds); see ProtocolConfig for the semantics.
+    execution_cost: float = 6e-6
+    cost_client_request: float = 8e-6
+    cost_message: float = 3e-6
+    cost_per_id: float = 0.8e-6
+    cost_send: float = 3e-6
+    cost_per_byte: float = 1.0e-9
+    cost_execution_overhead: float = 5e-6
+    cpu_jitter_sigma: float = 0.15
+    # A general-purpose BFT library in CFT mode runs a heavier code path
+    # than the purpose-built protocols; this factor scales its CPU costs.
+    bftsmart_cost_factor: float = 1.3
+    # Workload.
+    workload: YcsbProfile = field(default_factory=lambda: WORKLOAD_UPDATE_HEAVY)
+    # The paper's client-load baseline: 50 closed-loop clients is the
+    # saturation point and defines client-load factor 1x (Section 7.3).
+    baseline_clients: int = 50
+
+    def latency_model(self) -> LatencyModel:
+        """Build the one-way latency model for this profile."""
+        return LogNormalLatency(
+            median=self.latency_median,
+            sigma=self.latency_sigma,
+            floor=self.latency_floor,
+        )
+
+    def clients_for_load_factor(self, factor: float) -> int:
+        """Number of clients representing a client-load factor (1x = 50)."""
+        return max(1, round(self.baseline_clients * factor))

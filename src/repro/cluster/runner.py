@@ -1,0 +1,84 @@
+"""The experiment runner: one run = one seeded simulation.
+
+A :class:`RunSpec` describes everything about a run (system, load,
+duration, faults, overrides); :func:`run_experiment` executes it and
+returns an :class:`~repro.cluster.metrics.ExperimentResult`.  The
+conventions follow the paper's methodology (Section 7.1): a warm-up
+period is excluded from measurement, and results are averaged over
+multiple seeded runs by the experiment layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster.builder import Cluster, build_cluster
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.metrics import ExperimentResult
+from repro.cluster.profile import ClusterProfile
+from repro.workload.schedule import LoadSchedule
+
+
+@dataclass
+class RunSpec:
+    """A complete description of one experiment run."""
+
+    system: str
+    clients: int
+    duration: float = 1.0
+    warmup: float = 0.3
+    seed: int = 0
+    profile: Optional[ClusterProfile] = None
+    overrides: dict[str, Any] = field(default_factory=dict)
+    faults: Optional[FaultSchedule] = None
+    schedule: Optional[LoadSchedule] = None
+    bucket_width: float = 0.25
+    keep_metrics: bool = False
+
+    def __post_init__(self) -> None:
+        if self.warmup >= self.duration:
+            raise ValueError(
+                f"warmup ({self.warmup}) must be shorter than the run "
+                f"duration ({self.duration})"
+            )
+
+
+def run_experiment(spec: RunSpec) -> ExperimentResult:
+    """Execute one run and collect its results."""
+    cluster = build_cluster(
+        spec.system,
+        spec.clients,
+        seed=spec.seed,
+        profile=spec.profile,
+        overrides=spec.overrides,
+        window_start=spec.warmup,
+        window_end=spec.duration,
+        schedule=spec.schedule,
+        bucket_width=spec.bucket_width,
+        stop_time=spec.duration,
+    )
+    if spec.faults is not None:
+        spec.faults.install(cluster)
+    cluster.run_until(spec.duration)
+    return collect_result(spec, cluster)
+
+
+def collect_result(spec: RunSpec, cluster: Cluster) -> ExperimentResult:
+    """Assemble an :class:`ExperimentResult` from a finished cluster."""
+    metrics = cluster.metrics
+    return ExperimentResult(
+        system=spec.system,
+        clients=spec.clients,
+        seed=spec.seed,
+        duration=spec.duration,
+        warmup=spec.warmup,
+        throughput=metrics.throughput(),
+        latency=metrics.latency_summary(),
+        reject_throughput=metrics.reject_throughput(),
+        reject_latency=metrics.reject_latency_summary(),
+        timeouts=metrics.timeouts,
+        traffic=cluster.network.traffic.snapshot(),
+        replica_stats=cluster.replica_stats(),
+        metrics=metrics if spec.keep_metrics else None,
+    )

@@ -1,0 +1,47 @@
+"""IDEM — the paper's contribution.
+
+A crash-fault-tolerant state-machine replication protocol that prevents
+overload-induced tail latency through *collaborative proactive
+rejection*: every replica runs a local acceptance test on each incoming
+client request and immediately notifies the client when it opts not to
+process it.  Clients that collect ``n - f`` rejections abandon the
+operation and resort to their local fallback.
+
+Public entry points:
+
+* :class:`IdemConfig` — all protocol parameters (Sections 4, 5, 7.1).
+* :class:`IdemReplica` — the replica (request handling, REQUIRE/PROPOSE/
+  COMMIT agreement on ids, forwarding, implicit GC, view changes).
+* :class:`IdemClient` — the client (pessimistic/optimistic rejection
+  handling, fallback, backoff).
+* :mod:`repro.core.acceptance` — pluggable acceptance tests (tail drop
+  and the paper's prioritised active-queue-management test).
+"""
+
+from repro.core.acceptance import (
+    AcceptanceTest,
+    AdaptiveThreshold,
+    AlwaysAccept,
+    AqmPriorityTest,
+    CostAwareTest,
+    PriorityClassTest,
+    TailDrop,
+    make_acceptance_test,
+)
+from repro.core.client import IdemClient
+from repro.core.config import IdemConfig
+from repro.core.replica import IdemReplica
+
+__all__ = [
+    "AcceptanceTest",
+    "AdaptiveThreshold",
+    "AlwaysAccept",
+    "AqmPriorityTest",
+    "CostAwareTest",
+    "IdemClient",
+    "IdemConfig",
+    "IdemReplica",
+    "PriorityClassTest",
+    "TailDrop",
+    "make_acceptance_test",
+]

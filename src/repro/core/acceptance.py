@@ -1,0 +1,425 @@
+"""Acceptance tests: the local accept/reject decision (paper Section 5.1).
+
+The test may be non-deterministic and is deliberately decoupled from the
+rest of the protocol; IDEM only requires a boolean per fresh client
+request.  Implementations provided:
+
+* :class:`AlwaysAccept` — rejection disabled (IDEM_noPR).
+* :class:`TailDrop` — reject only once the number of locally active
+  requests reaches the threshold (IDEM_noAQM).
+* :class:`AqmPriorityTest` — the paper's default: tail drop for the
+  currently prioritised client group, probabilistic early rejection for
+  everyone else, with a shared pseudo-random function so replicas tend
+  to reach unanimous decisions.
+* :class:`PriorityClassTest` and :class:`CostAwareTest` — the "further
+  options" the paper sketches: static request priority categories, and
+  admission weighted by a request's estimated resource cost.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+from repro.app.commands import Command, KvOp
+from repro.protocols.messages import Rid
+from repro.sim.rng import request_hash_unit
+
+
+class AcceptanceTest(ABC):
+    """Decides whether a replica accepts a fresh client request."""
+
+    @abstractmethod
+    def accept(
+        self,
+        rid: Rid,
+        now: float,
+        active_count: int,
+        command: Optional[Command] = None,
+    ) -> bool:
+        """Return True to accept the request, False to reject it.
+
+        ``active_count`` is the replica's number of currently active
+        (accepted, unexecuted) client requests; ``command`` is the
+        request body, for tests that inspect the operation itself.
+        """
+
+    def observe_completion(self, queueing_delay: float) -> None:
+        """Feedback hook: an accepted request executed after spending
+        ``queueing_delay`` seconds in this replica's active set.
+
+        The default acceptance tests ignore it; adaptive tests use it to
+        steer their threshold.
+        """
+
+    def threshold_hint(self) -> Optional[int]:
+        """Value to piggyback on outgoing proposals (leader side), or
+        None.  Only adaptive tests advertise one."""
+        return None
+
+    def adopt_hint(self, hint: int, now: float) -> None:
+        """Apply a threshold hint received from the current leader.
+
+        Default: ignore.  Adaptive tests cap their threshold with it.
+        """
+
+
+class AlwaysAccept(AcceptanceTest):
+    """Accept everything — proactive rejection disabled."""
+
+    def accept(
+        self,
+        rid: Rid,
+        now: float,
+        active_count: int,
+        command: Optional[Command] = None,
+    ) -> bool:
+        return True
+
+
+class TailDrop(AcceptanceTest):
+    """Accept while there is a free slot; reject once the queue is full."""
+
+    def __init__(self, threshold: int):
+        if threshold < 1:
+            raise ValueError(f"threshold must be at least 1, got {threshold}")
+        self.threshold = threshold
+
+    def accept(
+        self,
+        rid: Rid,
+        now: float,
+        active_count: int,
+        command: Optional[Command] = None,
+    ) -> bool:
+        return active_count < self.threshold
+
+
+class AqmPriorityTest(AcceptanceTest):
+    """The paper's prioritised active-queue-management test.
+
+    Clients are partitioned into groups of ``threshold`` clients each;
+    one group is prioritised per ``time_slice``.  Prioritised clients
+    experience plain tail drop.  Non-prioritised clients are rejected
+    with probability ``p = active_count / threshold`` once the load
+    passes ``start_fraction`` of the threshold — evaluated through a
+    pseudo-random function of the *request id*, so all replicas flip the
+    same coin and mostly agree.
+
+    The number of groups adapts to the highest client id observed,
+    mirroring a deployment where the client population is configured.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        start_fraction: float = 0.6,
+        time_slice: float = 2.0,
+        salt: int = 0,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be at least 1, got {threshold}")
+        if time_slice <= 0:
+            raise ValueError(f"time slice must be positive, got {time_slice}")
+        self.threshold = threshold
+        self.start_fraction = start_fraction
+        self.time_slice = time_slice
+        self.salt = salt
+        self._group_count = 1
+
+    def group_of(self, cid: int) -> int:
+        """The priority group of client ``cid`` (at most ``threshold`` each)."""
+        return cid // self.threshold
+
+    def prioritized_group(self, now: float) -> int:
+        """The group prioritised during the time slice containing ``now``."""
+        return int(now / self.time_slice) % self._group_count
+
+    def accept(
+        self,
+        rid: Rid,
+        now: float,
+        active_count: int,
+        command: Optional[Command] = None,
+    ) -> bool:
+        if active_count >= self.threshold:
+            return False  # full: tail drop applies to everyone
+        cid, onr = rid
+        group = self.group_of(cid)
+        if group >= self._group_count:
+            self._group_count = group + 1
+        if group == self.prioritized_group(now):
+            return True  # prioritised clients are only subject to tail drop
+        fraction = active_count / self.threshold
+        if fraction < self.start_fraction:
+            return True
+        # Shared coin: the same request id yields the same draw on every
+        # replica, nudging the group toward a unanimous decision.
+        return request_hash_unit(cid, onr, self.salt) >= fraction
+
+
+class PriorityClassTest(AcceptanceTest):
+    """Static request priority categories (paper Section 5.1, "Further
+    Options").
+
+    Each request is mapped to a priority class by ``class_of`` (a
+    deterministic function of the request id and command, so all
+    replicas agree).  Class ``k`` starts being rejected once the load
+    fraction exceeds ``start_fractions[k]``; beyond its start fraction a
+    request is rejected with probability growing to 1 at full load,
+    decided by the shared per-request coin.  Lower start fractions mean
+    lower priority.  Classes absent from the mapping use 1.0 — i.e.
+    plain tail drop (highest priority).
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        class_of: Callable[[Rid, Optional[Command]], int],
+        start_fractions: dict[int, float],
+        salt: int = 0,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be at least 1, got {threshold}")
+        for klass, fraction in start_fractions.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(
+                    f"start fraction for class {klass} must be in [0, 1], "
+                    f"got {fraction}"
+                )
+        self.threshold = threshold
+        self.class_of = class_of
+        self.start_fractions = dict(start_fractions)
+        self.salt = salt
+
+    def accept(
+        self,
+        rid: Rid,
+        now: float,
+        active_count: int,
+        command: Optional[Command] = None,
+    ) -> bool:
+        if active_count >= self.threshold:
+            return False
+        fraction = active_count / self.threshold
+        start = self.start_fractions.get(self.class_of(rid, command), 1.0)
+        if fraction < start:
+            return True
+        if start >= 1.0:
+            return True
+        # Rejection probability ramps from 0 at the start fraction to 1
+        # at full load; the shared coin keeps replicas aligned.
+        probability = (fraction - start) / (1.0 - start)
+        return request_hash_unit(rid[0], rid[1], self.salt) >= probability
+
+
+class CostAwareTest(AcceptanceTest):
+    """Admission weighted by a request's estimated resource cost (paper
+    Section 5.1, "Further Options").
+
+    ``cost_of`` estimates how many "slot equivalents" a request will
+    consume (e.g. a SCAN of 10 records ≈ 10 point operations).  A
+    request is rejected if the estimated cost does not fit into the
+    remaining capacity; expensive requests are additionally rejected
+    early (probabilistically, shared coin) so cheap requests retain
+    access under pressure.
+    """
+
+    def __init__(
+        self,
+        threshold: int,
+        cost_of: Optional[Callable[[Optional[Command]], float]] = None,
+        early_fraction: float = 0.5,
+        salt: int = 0,
+    ):
+        if threshold < 1:
+            raise ValueError(f"threshold must be at least 1, got {threshold}")
+        if not 0.0 <= early_fraction <= 1.0:
+            raise ValueError(
+                f"early fraction must be in [0, 1], got {early_fraction}"
+            )
+        self.threshold = threshold
+        self.cost_of = cost_of or default_command_cost
+        self.early_fraction = early_fraction
+        self.salt = salt
+
+    def accept(
+        self,
+        rid: Rid,
+        now: float,
+        active_count: int,
+        command: Optional[Command] = None,
+    ) -> bool:
+        cost = max(1.0, self.cost_of(command))
+        if active_count + cost > self.threshold:
+            return False  # would overflow the remaining capacity
+        fraction = active_count / self.threshold
+        if cost <= 1.0 or fraction < self.early_fraction:
+            return True
+        # The more expensive the request and the fuller the replica,
+        # the more likely an early rejection (1 at full load for an
+        # infinitely expensive request).
+        pressure = (fraction - self.early_fraction) / (1.0 - self.early_fraction)
+        probability = pressure * (1.0 - 1.0 / cost)
+        return request_hash_unit(rid[0], rid[1], self.salt) >= probability
+
+
+class AdaptiveThreshold(AcceptanceTest):
+    """A self-tuning reject threshold (automating the paper's Section
+    7.5 observation that RT can be chosen to target a desired latency).
+
+    Wraps any threshold-based acceptance test and steers its
+    ``threshold`` with an AIMD controller fed by the replica's *local*
+    queueing delay (acceptance → execution), a signal every replica
+    observes without coordination — in keeping with the collaborative,
+    leaderless design:
+
+    * observed delay above ``target_delay`` → multiplicative decrease;
+    * delay comfortably below target while rejections are happening →
+      additive increase (there is spare latency headroom).
+
+    The threshold stays inside ``[min_threshold, max_threshold]``; the
+    protocol's ``r_max`` accounting uses the configured maximum, so the
+    implicit-GC window stays valid whatever the controller does.
+    """
+
+    def __init__(
+        self,
+        inner: AcceptanceTest,
+        target_delay: float = 1.0e-3,
+        min_threshold: int = 5,
+        max_threshold: int = 200,
+        interval: float = 0.25,
+        decrease: float = 0.85,
+        increase: int = 2,
+    ):
+        if not hasattr(inner, "threshold"):
+            raise TypeError("adaptive control needs a threshold-based inner test")
+        if target_delay <= 0:
+            raise ValueError(f"target delay must be positive, got {target_delay}")
+        if not 1 <= min_threshold <= max_threshold:
+            raise ValueError(
+                f"invalid threshold bounds [{min_threshold}, {max_threshold}]"
+            )
+        if not 0 < decrease < 1:
+            raise ValueError(f"decrease factor must be in (0, 1), got {decrease}")
+        self.inner = inner
+        self.target_delay = target_delay
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.interval = interval
+        self.decrease = decrease
+        self.increase = increase
+        self._controlled = min(max(inner.threshold, min_threshold), max_threshold)
+        self.inner.threshold = self._controlled
+        self._window_start: Optional[float] = None
+        self._delay_sum = 0.0
+        self._delay_count = 0
+        self._rejected_in_window = 0
+        # A hint received from the current leader caps the threshold for
+        # hint_lifetime seconds (the leader sits deepest in the pipeline
+        # and sees congestion the followers' local signals miss).
+        self.hint_lifetime = 1.0
+        self._hint: Optional[int] = None
+        self._hint_time = -float("inf")
+        self.adjustments: list[tuple[float, int]] = []
+
+    @property
+    def threshold(self) -> int:
+        """The currently effective threshold (lives on the inner test)."""
+        return self.inner.threshold
+
+    def threshold_hint(self) -> Optional[int]:
+        return self._controlled
+
+    def adopt_hint(self, hint: int, now: float) -> None:
+        self._hint = max(self.min_threshold, min(hint, self.max_threshold))
+        self._hint_time = now
+        self._apply_effective(now)
+
+    def _apply_effective(self, now: float) -> None:
+        effective = self._controlled
+        if self._hint is not None and now - self._hint_time < self.hint_lifetime:
+            effective = min(effective, self._hint)
+        self.inner.threshold = effective
+
+    def accept(
+        self,
+        rid: Rid,
+        now: float,
+        active_count: int,
+        command: Optional[Command] = None,
+    ) -> bool:
+        self._maybe_adjust(now)
+        decision = self.inner.accept(rid, now, active_count, command)
+        if not decision:
+            self._rejected_in_window += 1
+        return decision
+
+    def observe_completion(self, queueing_delay: float) -> None:
+        self._delay_sum += queueing_delay
+        self._delay_count += 1
+
+    def _maybe_adjust(self, now: float) -> None:
+        if self._window_start is None:
+            self._window_start = now
+            return
+        if now - self._window_start < self.interval:
+            return
+        if self._delay_count:
+            mean_delay = self._delay_sum / self._delay_count
+            controlled = self._controlled
+            if mean_delay > self.target_delay:
+                controlled = max(
+                    self.min_threshold, int(controlled * self.decrease)
+                )
+            elif mean_delay < 0.7 * self.target_delay and self._rejected_in_window:
+                controlled = min(self.max_threshold, controlled + self.increase)
+            if controlled != self._controlled:
+                self._controlled = controlled
+                self.adjustments.append((now, controlled))
+        self._apply_effective(now)
+        self._window_start = now
+        self._delay_sum = 0.0
+        self._delay_count = 0
+        self._rejected_in_window = 0
+
+
+def default_command_cost(command: Optional[Command]) -> float:
+    """Slot-equivalent cost estimate for the built-in KV operations."""
+    if command is None:
+        return 1.0
+    if command.op is KvOp.SCAN:
+        return float(max(1, command.scan_length))
+    return 1.0
+
+
+def make_acceptance_test(config) -> AcceptanceTest:
+    """Build the acceptance test selected by an :class:`IdemConfig`."""
+    if not config.rejection_enabled or config.acceptance == "always":
+        return AlwaysAccept()
+    if config.acceptance == "taildrop":
+        return TailDrop(config.reject_threshold)
+    if config.acceptance == "aqm":
+        return AqmPriorityTest(
+            config.reject_threshold,
+            config.aqm_start_fraction,
+            config.aqm_time_slice,
+            config.reject_salt,
+        )
+    if config.acceptance == "cost":
+        return CostAwareTest(config.reject_threshold, salt=config.reject_salt)
+    if config.acceptance == "adaptive":
+        inner = AqmPriorityTest(
+            config.reject_threshold,
+            config.aqm_start_fraction,
+            config.aqm_time_slice,
+            config.reject_salt,
+        )
+        return AdaptiveThreshold(
+            inner,
+            target_delay=config.adaptive_target_delay,
+            min_threshold=config.adaptive_min_threshold,
+            max_threshold=config.reject_threshold_cap,
+        )
+    raise ValueError(f"unknown acceptance test: {config.acceptance!r}")

@@ -1,0 +1,102 @@
+"""The IDEM client (paper Section 5.3).
+
+The client multicasts each request to all replicas and then observes one
+of three terminal situations:
+
+* **Success** — a REPLY arrives: the operation completed.
+* **Failure** — all ``n`` replicas rejected: abandon immediately.
+* **Ambivalence** — ``n - f`` rejections: the remaining ``f`` replicas
+  may have crashed.  A *pessimistic* client aborts immediately; an
+  *optimistic* client (the evaluation's default) waits a short grace
+  period (5 ms) for a late reply or the missing rejections before
+  abandoning the operation.
+
+Abandoning triggers the local fallback and a randomised 50–100 ms
+backoff before the next operation (Section 7.1).
+
+An optional *early warning* callback implements the optimisation the
+paper sketches at the end of Section 5.3: it fires as soon as the
+``n - f``-th rejection arrives, so the application can start preparing
+its fallback while the optimistic client still waits for a late reply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.app.commands import Command
+from repro.net.addresses import Address
+from repro.protocols.clients import BaseClient
+from repro.protocols.messages import Reject, Reply, Request, Rid
+from repro.sim.timers import Timer
+
+
+class IdemClient(BaseClient):
+    """A closed-loop IDEM client with configurable rejection strategy."""
+
+    def __init__(
+        self,
+        *args,
+        early_warning: Optional[Callable[[Command], None]] = None,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.early_warning = early_warning
+        self._rejecting_replicas: set[int] = set()
+        self._grace_timer = Timer(self.loop, self._on_grace_timeout)
+        self._grace_rid: Optional[Rid] = None
+        # Outcome-state statistics (success/ambivalence/failure).
+        self.ambivalent_aborts = 0
+        self.failure_aborts = 0
+        self.early_warnings = 0
+
+    def _reset_operation_state(self) -> None:
+        self._rejecting_replicas.clear()
+        self._grace_timer.cancel()
+        self._grace_rid = None
+
+    def _send_request(self, request: Request) -> None:
+        self.network.multicast(self.address, self.replicas, request)
+
+    def _on_reply(self, src: Address, message: Reply) -> None:
+        if message.rid != self.current_rid:
+            return
+        self._grace_timer.cancel()
+        self._finish_success()
+
+    def _on_reject(self, src: Address, message: Reject) -> None:
+        self.metrics.note_reject_message(self.loop.now)
+        if message.rid != self.current_rid:
+            return
+        self._rejecting_replicas.add(src.index)
+        count = len(self._rejecting_replicas)
+        config = self.config
+        if count >= config.n:
+            # Failure state: certain the request will never execute.
+            self.failure_aborts += 1
+            self._grace_timer.cancel()
+            self._finish_rejected()
+        elif count >= config.n - config.f:
+            # Ambivalence state (Section 5.3).
+            if not config.optimistic_client:
+                self.ambivalent_aborts += 1
+                self._finish_rejected()
+            elif self._grace_rid != self.current_rid:
+                self._grace_rid = self.current_rid
+                self._grace_timer.start(config.optimistic_grace)
+                if self.early_warning is not None:
+                    # Give the application a head start on its fallback
+                    # while we still hope for a late reply.
+                    self.early_warnings += 1
+                    self.early_warning(self.current_command)
+
+    def _on_grace_timeout(self) -> None:
+        if self._grace_rid is None or self._grace_rid != self.current_rid:
+            return
+        self.ambivalent_aborts += 1
+        self._finish_rejected()
+
+    def _finish_rejected(self) -> None:
+        self._grace_timer.cancel()
+        self._grace_rid = None
+        super()._finish_rejected()

@@ -1,0 +1,105 @@
+"""IDEM protocol configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.config import ProtocolConfig
+
+
+@dataclass
+class IdemConfig(ProtocolConfig):
+    """Parameters of IDEM on top of the shared protocol configuration.
+
+    Attributes
+    ----------
+    reject_threshold:
+        ``r`` / ``RT`` from the paper: how many concurrently accepted
+        client-issued requests each replica allows before rejecting.
+        The evaluation's default is 50 (Section 7.1).
+    rejection_enabled:
+        ``False`` yields IDEM_noPR — the protocol with proactive
+        rejection disabled, used as the overhead baseline.
+    acceptance:
+        Which acceptance test to run: ``"aqm"`` (the paper's prioritised
+        active-queue-management test, Section 5.1), ``"taildrop"``
+        (IDEM_noAQM), ``"cost"`` (admission weighted by estimated
+        request cost — one of the paper's "further options") or
+        ``"always"``.  Custom tests can be assigned directly to
+        ``IdemReplica.acceptance``.
+    aqm_start_fraction:
+        Load fraction of ``reject_threshold`` at which AQM starts
+        probabilistically rejecting non-prioritised clients (60%).
+    aqm_time_slice:
+        Duration of each prioritisation time slice (2 s in the paper).
+    reject_salt:
+        Seed of the shared pseudo-random function replicas use to reach
+        (near-)unanimous rejection decisions.
+    forward_timeout:
+        Delayed forwarding: an accepted request is relayed to the other
+        replicas if not executed within this time (10 ms, Section 7.1).
+    forward_check_interval:
+        Granularity of the sweep that implements the forward timeout.
+    rejected_cache_size:
+        How many recently rejected requests each replica caches to avoid
+        fetches if the group accepts them anyway (Section 5.2).
+    require_batch_max / require_flush_delay:
+        REQUIRE messages carry batches of ids; a batch is flushed when
+        full or after this delay.
+    optimistic_client / optimistic_grace:
+        Client strategy in the ambivalence state (Section 5.3): the
+        optimistic client waits up to ``optimistic_grace`` (5 ms) after
+        ``n - f`` rejections for a late reply before abandoning.
+    """
+
+    reject_threshold: int = 50
+    rejection_enabled: bool = True
+    acceptance: str = "aqm"
+    aqm_start_fraction: float = 0.6
+    aqm_time_slice: float = 2.0
+    reject_salt: int = 0
+    forward_timeout: float = 0.010
+    forward_check_interval: float = 0.005
+    rejected_cache_size: int = 2048
+    require_batch_max: int = 64
+    require_flush_delay: float = 100e-6
+    optimistic_client: bool = True
+    optimistic_grace: float = 0.005
+    # Adaptive threshold control (acceptance="adaptive"): steer the
+    # threshold so local queueing delay tracks this target, within
+    # [adaptive_min_threshold, reject_threshold_cap].  The cap — not the
+    # momentary threshold — defines r_max for implicit GC.
+    adaptive_target_delay: float = 1.0e-3
+    adaptive_min_threshold: int = 5
+    reject_threshold_cap: int = 200
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.reject_threshold < 1:
+            raise ValueError(
+                f"reject threshold must be at least 1, got {self.reject_threshold}"
+            )
+        if not 0.0 <= self.aqm_start_fraction <= 1.0:
+            raise ValueError(
+                f"AQM start fraction must be in [0, 1], got {self.aqm_start_fraction}"
+            )
+        if self.window_size < self.r_max:
+            raise ValueError(
+                "window size must be at least n * reject_threshold "
+                f"(= {self.r_max}) for implicit garbage collection, "
+                f"got {self.window_size}"
+            )
+
+    @property
+    def r_max(self) -> int:
+        """Maximum concurrently active requests in the system: n * r.
+
+        Under adaptive control the momentary threshold moves, so the
+        bound uses the controller's cap.
+        """
+        per_replica = (
+            self.reject_threshold_cap
+            if self.acceptance == "adaptive"
+            else self.reject_threshold
+        )
+        return self.n * per_replica

@@ -1,0 +1,432 @@
+"""The IDEM replica (paper Sections 4 and 5).
+
+Request flow:
+
+1. A client multicasts its REQUEST to all replicas.
+2. Each replica runs its local acceptance test.  Rejection sends an
+   immediate REJECT to the client and caches the body; acceptance stores
+   the request, occupies an *active slot* and sends the id to the leader
+   in a (batched) REQUIRE.
+3. The leader proposes an id once ``f + 1`` replicas required it, in
+   id-based batches (PROPOSE).  Replicas COMMIT to everyone; an instance
+   is committed with ``f + 1`` endorsements, the leader's proposal
+   counting as one.
+4. Replicas execute committed instances in sequence order, fetching
+   missing bodies (FETCH / forward), and the leader replies.
+5. Slots free on execution; the window advances by *implicit garbage
+   collection*: observing sequence number ``s`` proves that ``f + 1``
+   replicas executed everything up to ``s - n*r`` (Theorem 6.1).
+
+The forwarding mechanism (Section 5.2) guarantees that a request
+accepted by one correct replica is eventually executed everywhere:
+delayed forwarding after 10 ms, a cache of recently rejected requests,
+and on-demand fetching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+from repro.app.state_machine import StateMachine
+from repro.core.acceptance import make_acceptance_test
+from repro.core.config import IdemConfig
+from repro.net.addresses import Address
+from repro.net.network import Network
+from repro.protocols.base import BaseReplica, Instance
+from repro.protocols.messages import (
+    Fetch,
+    Forward,
+    Propose,
+    Reject,
+    Request,
+    RequireBatch,
+    Rid,
+)
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import Timer
+
+
+class ActiveRequest:
+    """A request occupying one of this replica's active slots."""
+
+    __slots__ = ("request", "accept_time", "forwarded")
+
+    def __init__(self, request: Request, accept_time: float):
+        self.request = request
+        self.accept_time = accept_time
+        self.forwarded = False
+
+
+class IdemReplica(BaseReplica):
+    """One IDEM replica."""
+
+    def __init__(
+        self,
+        index: int,
+        loop: EventLoop,
+        network: Network,
+        config: IdemConfig,
+        state_machine: StateMachine,
+        rng: RngRegistry,
+    ):
+        super().__init__(index, loop, network, config, state_machine, rng)
+        self.config: IdemConfig = config
+        self.acceptance = make_acceptance_test(config)
+        # Accepted, not yet executed client requests (the slots).
+        self.active: dict[Rid, ActiveRequest] = {}
+        # Newest active rid per client, for stale-slot supersession.
+        self._latest_active: dict[int, Rid] = {}
+        # Bodies we own: active requests plus committed ones not yet
+        # garbage collected (needed to serve FETCHes).
+        self.request_store: dict[Rid, Request] = {}
+        # Recently rejected requests (Section 5.2).
+        self.rejected_cache: OrderedDict[Rid, Request] = OrderedDict()
+        # Leader state: who required which id, and what was proposed.
+        self.require_counts: dict[Rid, set[int]] = {}
+        self._require_first_seen: dict[Rid, float] = {}
+        self.proposed_rids: dict[Rid, int] = {}
+        # REQUIRE batching.
+        self._require_outbox: list[Rid] = []
+        self._require_timer = Timer(loop, self._flush_requires)
+        # Body fetching (rate limited per id).
+        self._fetching: dict[Rid, float] = {}
+        self._handlers.update(
+            {
+                RequireBatch: self._on_require_batch,
+                Propose: self._on_propose,
+                Forward: self._on_forward,
+                Fetch: self._on_fetch,
+            }
+        )
+        loop.call_after(config.forward_check_interval, self._forward_sweep)
+
+    # ------------------------------------------------------------------
+    # Client requests and the acceptance test
+    # ------------------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Number of occupied active slots (``r_now`` in the paper)."""
+        return len(self.active)
+
+    def _on_request(self, src: Address, message: Request) -> None:
+        self.stats["requests_seen"] += 1
+        rid = message.rid
+        if self._maybe_resend_reply(src, rid):
+            return
+        if rid in self.active or rid in self.request_store:
+            # Duplicate (client retransmission over fair-loss links) of a
+            # request we already hold: refresh the REQUIRE in case the
+            # original was lost on the way to the leader.
+            entry = self.active.get(rid)
+            if (
+                entry is not None
+                and rid not in self.proposed_rids
+                and rid not in self._require_outbox
+            ):
+                self._route_require(rid)
+            return
+        if self.acceptance.accept(
+            rid, self.loop.now, len(self.active), message.command
+        ):
+            self._accept_request(message)
+        else:
+            self.stats["rejected"] += 1
+            self._cache_rejected(message)
+            self.send(src, Reject(rid))
+
+    def _accept_request(self, request: Request) -> None:
+        """Occupy a slot for ``request`` and hand its id to the ordering stage."""
+        rid = request.rid
+        self.active[rid] = ActiveRequest(request, self.loop.now)
+        self.request_store[rid] = request
+        self.stats["accepted"] += 1
+        self._supersede_stale_active(rid)
+        self._route_require(rid)
+        if not self._progress_timer.running:
+            self._progress_timer.start()
+
+    def _supersede_stale_active(self, rid: Rid) -> None:
+        """A newer request from a client supersedes its older, still
+        *unproposed* active entry (Section 4.3: the operation number
+        distinguishes a client's latest request from older ones).  The
+        superseded body moves to the rejected cache so a late proposal
+        by another replica can still be served.  This bounds active-set
+        growth during ordering stalls, when clients abandon operations
+        and issue new ones faster than slots can drain.
+        """
+        cid, onr = rid
+        previous = self._latest_active.get(cid)
+        if previous is not None and previous[1] < onr:
+            entry = self.active.get(previous)
+            if entry is not None and previous not in self.proposed_rids:
+                del self.active[previous]
+                self.request_store.pop(previous, None)
+                self._cache_rejected(entry.request)
+        self._latest_active[cid] = rid
+
+    def _route_require(self, rid: Rid) -> None:
+        """Announce an accepted id to whoever orders it (the leader)."""
+        if self.is_leader and self._vc_target is None:
+            self._note_require(rid, self.index)
+        else:
+            self._require_outbox.append(rid)
+            if len(self._require_outbox) >= self.config.require_batch_max:
+                self._require_timer.cancel()
+                self._flush_requires()
+            elif not self._require_timer.running:
+                self._require_timer.start(self.config.require_flush_delay)
+
+    def _cache_rejected(self, request: Request) -> None:
+        cache = self.rejected_cache
+        cache[request.rid] = request
+        while len(cache) > self.config.rejected_cache_size:
+            cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # REQUIRE phase
+    # ------------------------------------------------------------------
+
+    def _flush_requires(self) -> None:
+        if self.halted or not self._require_outbox:
+            return
+        if self._vc_target is not None:
+            # Hold requires while the view change is in progress; they
+            # are re-sent once the new view is installed.
+            self._require_timer.start(self.config.require_flush_delay * 4)
+            return
+        batch = tuple(self._require_outbox)
+        self._require_outbox.clear()
+        self.send_to_leader(RequireBatch(batch))
+
+    def _on_require_batch(self, src: Address, message: RequireBatch) -> None:
+        if not self.is_leader or self._vc_target is not None:
+            return  # the sender will re-require after the view change
+        for rid in message.rids:
+            self._note_require(rid, src.index)
+
+    def _note_require(self, rid: Rid, replica_index: int) -> None:
+        cid, onr = rid
+        if self.executed_onr.get(cid, 0) >= onr:
+            return
+        if rid in self.proposed_rids:
+            return
+        supporters = self.require_counts.get(rid)
+        if supporters is None:
+            supporters = set()
+            self.require_counts[rid] = supporters
+            self._require_first_seen[rid] = self.loop.now
+        supporters.add(replica_index)
+        if len(supporters) >= self.config.quorum:
+            del self.require_counts[rid]
+            self._require_first_seen.pop(rid, None)
+            self.proposed_rids[rid] = -1  # assigned a sqn at flush time
+            self._queue_proposal(rid)
+
+    # ------------------------------------------------------------------
+    # PROPOSE phase (id-based batches)
+    # ------------------------------------------------------------------
+
+    def _flush_proposals(self) -> None:
+        if self.halted or self._vc_target is not None or not self.is_leader:
+            return
+        config = self.config
+        hint = self.acceptance.threshold_hint()
+        while self._propose_queue and self._window_has_room():
+            batch = tuple(self._propose_queue[: config.batch_max])
+            del self._propose_queue[: len(batch)]
+            sqn = self.next_sqn
+            self.next_sqn = sqn + 1
+            for rid in batch:
+                self.proposed_rids[rid] = sqn
+            self._open_instance(sqn, self.view, batch)
+            self.multicast_peers(Propose(self.view, sqn, batch, hint))
+            self.stats["proposals"] += 1
+        if self._propose_queue and not self._batch_timer.running:
+            # Window backpressure: retry once the window advances.
+            self._batch_timer.start(config.batch_delay)
+        if not self._progress_timer.running:
+            self._progress_timer.start()
+
+    def _on_propose(self, src: Address, message: Propose) -> None:
+        if (
+            message.threshold_hint is not None
+            and src.index == self.leader_of(self.view)
+        ):
+            self.acceptance.adopt_hint(message.threshold_hint, self.loop.now)
+        self._accept_proposal(message.view, message.sqn, message.rids)
+
+    def _resend_proposal(self, dst: Address, instance: Instance) -> None:
+        self.send(dst, Propose(instance.view, instance.sqn, instance.rids))
+
+    # ------------------------------------------------------------------
+    # Bodies: store, fetch, forward
+    # ------------------------------------------------------------------
+
+    def _resolve_bodies(self, instance: Instance) -> Optional[list[tuple[Rid, Request]]]:
+        bodies: list[tuple[Rid, Request]] = []
+        missing: list[Rid] = []
+        for rid in instance.rids:
+            request = self.request_store.get(rid)
+            if request is None:
+                request = self.rejected_cache.pop(rid, None)
+                if request is not None:
+                    # The group accepted a request we rejected: adopt it.
+                    self.request_store[rid] = request
+            if request is None:
+                cid, onr = rid
+                if self.executed_onr.get(cid, 0) >= onr:
+                    continue  # duplicate; no body needed
+                missing.append(rid)
+            else:
+                bodies.append((rid, request))
+        if missing:
+            self._fetch_bodies(missing)
+            return None
+        return bodies
+
+    def _fetch_bodies(self, rids: list[Rid]) -> None:
+        now = self.loop.now
+        for rid in rids:
+            last = self._fetching.get(rid, -1.0)
+            if now - last < self.config.forward_timeout:
+                continue
+            self._fetching[rid] = now
+            self.stats["fetches"] += 1
+            self.multicast_peers(Fetch(rid))
+
+    def _on_fetch(self, src: Address, message: Fetch) -> None:
+        rid = message.rid
+        request = self.request_store.get(rid) or self.rejected_cache.get(rid)
+        if request is not None:
+            self.send(src, Forward(request))
+
+    def _on_forward(self, src: Address, message: Forward) -> None:
+        request = message.request
+        rid = request.rid
+        cid, onr = rid
+        if self.executed_onr.get(cid, 0) >= onr:
+            return
+        if rid in self.request_store:
+            return
+        self._fetching.pop(rid, None)
+        self.rejected_cache.pop(rid, None)
+        # Forwarded requests are accepted regardless of the current load
+        # (Section 4.3); this may temporarily exceed the threshold.
+        self._accept_request(request)
+        self._try_execute()
+
+    def _forward_sweep(self) -> None:
+        """Periodic implementation of delayed forwarding (Section 5.2)."""
+        if self.halted:
+            return
+        now = self.loop.now
+        timeout = self.config.forward_timeout
+        stale = [
+            entry
+            for entry in self.active.values()
+            if not entry.forwarded and now - entry.accept_time > timeout
+        ]
+        for entry in stale:
+            entry.forwarded = True
+            self.stats["forwards"] += 1
+            self.multicast_peers(Forward(entry.request))
+        # Prune require bookkeeping for ids that never reached a quorum
+        # (e.g. the client aborted and every other replica rejected).
+        expired = [
+            rid
+            for rid, first in self._require_first_seen.items()
+            if now - first > 2.0
+        ]
+        for rid in expired:
+            self.require_counts.pop(rid, None)
+            self._require_first_seen.pop(rid, None)
+        # Retry stalled executions (e.g. a lost Forward answer).
+        self._try_execute()
+        self.loop.call_after(self.config.forward_check_interval, self._forward_sweep)
+
+    # ------------------------------------------------------------------
+    # Execution, slots and implicit garbage collection
+    # ------------------------------------------------------------------
+
+    def _on_executed(self, rid: Rid, request: Request, result: Any) -> None:
+        entry = self.active.pop(rid, None)  # free the slot
+        if entry is not None:
+            self.acceptance.observe_completion(self.loop.now - entry.accept_time)
+        if self.is_leader:
+            self._reply_to_client(rid, result)
+        else:
+            self._record_reply(rid, result)
+
+    def _has_outstanding_work(self) -> bool:
+        return bool(self._unexecuted) or bool(self.active)
+
+    def _advance_window(self, observed_sqn: int) -> None:
+        """Implicit GC (Theorem 6.1): seeing ``observed_sqn`` proves that
+        ``f + 1`` replicas executed everything up to ``observed_sqn - r_max``."""
+        candidate = observed_sqn - self.config.r_max
+        new_start = min(candidate + 1, self.exec_sqn + 1)
+        if new_start <= self.window_start:
+            return
+        for sqn in range(self.window_start, new_start):
+            instance = self.instances.pop(sqn, None)
+            if instance is None:
+                continue
+            self._unexecuted.discard(sqn)
+            for rid in instance.rids:
+                self.request_store.pop(rid, None)
+                self.proposed_rids.pop(rid, None)
+        self.window_start = new_start
+
+    def _gc_after_execute(self, sqn: int) -> None:
+        # Executing an instance is itself an observation of its sequence
+        # number; implicit GC replaces the base window truncation.
+        self._advance_window(sqn)
+
+    def _lag_threshold(self) -> int:
+        # Implicit GC only retains r_max instances behind the newest
+        # observed sequence number, so a replica further behind than
+        # that can no longer recover proposals and needs a checkpoint.
+        return self.config.r_max
+
+    # ------------------------------------------------------------------
+    # View changes
+    # ------------------------------------------------------------------
+
+    def _after_state_transfer(self) -> None:
+        # Drop active slots and stored bodies for requests the snapshot
+        # already covers.
+        for rid in [r for r in self.active if self.executed_onr.get(r[0], 0) >= r[1]]:
+            del self.active[rid]
+        for rid in [r for r in self.request_store if self.executed_onr.get(r[0], 0) >= r[1]]:
+            del self.request_store[rid]
+
+    def _after_view_installed(self) -> None:
+        """Re-anchor leader bookkeeping and re-require active requests.
+
+        Accepted requests whose REQUIREs reached only the old leader
+        must be re-announced so the new leader can propose them.
+        """
+        self.require_counts.clear()
+        self._require_first_seen.clear()
+        self.proposed_rids = {
+            rid: sqn
+            for sqn, instance in self.instances.items()
+            if not instance.executed
+            for rid in instance.rids
+        }
+        self._require_outbox.clear()
+        if self.is_leader:
+            for rid in self.active:
+                self._note_require(rid, self.index)
+        else:
+            self._require_outbox.extend(self.active)
+            if self._require_outbox:
+                self._require_timer.cancel()
+                self._flush_requires()
+
+    def crash(self) -> None:
+        super().crash()
+        self._require_timer.cancel()

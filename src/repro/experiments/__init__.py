@@ -1,0 +1,12 @@
+"""The paper's evaluation: one module per figure/table.
+
+Every module exposes ``run(quick=False, runs=None, seed0=0) -> data`` and
+``render(data) -> str``; the registry maps experiment ids (``fig2``,
+``tab1``, ...) to them.  The benchmarks in ``benchmarks/`` are thin
+wrappers that execute these modules and assert the paper's qualitative
+claims.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment_by_id
+
+__all__ = ["EXPERIMENTS", "run_experiment_by_id"]

@@ -1,0 +1,78 @@
+"""Tiny plain-text plotting helpers for experiment reports.
+
+The experiment renderers emit paper-style tables; for timeline-shaped
+artefacts (the crash figures) a sparkline or a small scatter makes the
+shape visible directly in the terminal and in the saved reports.
+"""
+
+from __future__ import annotations
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], maximum: float | None = None) -> str:
+    """Render values as a one-line unicode sparkline.
+
+    Values are scaled to ``maximum`` (default: the series maximum); an
+    empty series renders as an empty string.
+    """
+    if not values:
+        return ""
+    top = maximum if maximum is not None else max(values)
+    if top <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    chars = []
+    for value in values:
+        level = int(min(1.0, max(0.0, value / top)) * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def timeline_sparkline(
+    series: list[tuple[float, float]],
+    start: float,
+    end: float,
+    buckets: int = 60,
+) -> str:
+    """Resample a ``(time, value)`` series onto a fixed-width sparkline."""
+    if not series or end <= start:
+        return ""
+    width = (end - start) / buckets
+    sums = [0.0] * buckets
+    counts = [0] * buckets
+    for time, value in series:
+        if not start <= time < end:
+            continue
+        index = min(buckets - 1, int((time - start) / width))
+        sums[index] += value
+        counts[index] += 1
+    values = [sums[i] / counts[i] if counts[i] else 0.0 for i in range(buckets)]
+    return sparkline(values)
+
+
+def scatter(
+    points: list[tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A minimal text scatter plot of ``(x, y)`` points."""
+    if not points:
+        return "(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][col] = "o"
+    lines = [f"{y_label} ({y_min:.3g} .. {y_max:.3g})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_min:.3g} .. {x_max:.3g})")
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Shared machinery for the experiment suite.
+
+Runs are averaged over multiple seeds like the paper averages over three
+runs (Section 7.1).  Durations and run counts scale down in *quick* mode
+(used by the test suite) and can be overridden through environment
+variables:
+
+* ``REPRO_RUNS`` — seeded runs per data point (default 2).
+* ``REPRO_DURATION`` — measured run length in simulated seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.profile import ClusterProfile
+from repro.cluster.runner import RunSpec, run_experiment
+
+
+def default_runs() -> int:
+    """Seeded runs per data point (paper: 3; default here: 2)."""
+    return int(os.environ.get("REPRO_RUNS", "2"))
+
+
+def default_duration() -> float:
+    """Simulated seconds per steady-state run."""
+    return float(os.environ.get("REPRO_DURATION", "1.0"))
+
+
+@dataclass
+class Point:
+    """One averaged data point of a sweep (one marker in a paper figure)."""
+
+    system: str
+    clients: int
+    load_factor: float
+    throughput: float
+    throughput_std: float
+    latency_ms: float
+    latency_std_ms: float
+    reject_throughput: float
+    reject_latency_ms: float
+    reject_latency_std_ms: float
+    timeouts: int
+    runs: int
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput_kops(self) -> float:
+        """Successful throughput in thousands of requests per second."""
+        return self.throughput / 1e3
+
+    @property
+    def reject_share(self) -> float:
+        """Fraction of operations that ended in rejection."""
+        total = self.throughput + self.reject_throughput
+        return self.reject_throughput / total if total else 0.0
+
+
+def averaged_point(
+    system: str,
+    clients: int,
+    runs: Optional[int] = None,
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+    seed0: int = 0,
+    overrides: Optional[dict[str, Any]] = None,
+    profile: Optional[ClusterProfile] = None,
+    faults: Optional[FaultSchedule] = None,
+) -> Point:
+    """Run ``runs`` seeded simulations and average the paper's metrics."""
+    runs = runs or default_runs()
+    duration = duration or default_duration()
+    warmup = warmup if warmup is not None else min(0.3, duration / 3)
+    profile = profile or ClusterProfile()
+    results = []
+    for run_index in range(runs):
+        spec = RunSpec(
+            system=system,
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+            seed=seed0 + run_index,
+            overrides=dict(overrides or {}),
+            profile=profile,
+            faults=faults,
+        )
+        results.append(run_experiment(spec))
+    throughputs = [result.throughput for result in results]
+    latencies = [result.latency.mean * 1e3 for result in results]
+    latency_stds = [result.latency.std * 1e3 for result in results]
+    reject_tputs = [result.reject_throughput for result in results]
+    reject_lats = [result.reject_latency.mean * 1e3 for result in results]
+    reject_stds = [result.reject_latency.std * 1e3 for result in results]
+    return Point(
+        system=system,
+        clients=clients,
+        load_factor=clients / profile.baseline_clients,
+        throughput=_mean(throughputs),
+        throughput_std=_spread(throughputs),
+        latency_ms=_mean(latencies),
+        latency_std_ms=_mean(latency_stds),
+        reject_throughput=_mean(reject_tputs),
+        reject_latency_ms=_mean(reject_lats),
+        reject_latency_std_ms=_mean(reject_stds),
+        timeouts=sum(result.timeouts for result in results),
+        runs=runs,
+    )
+
+
+def sweep(
+    system: str,
+    client_counts: list[int],
+    **kwargs: Any,
+) -> list[Point]:
+    """One averaged point per client count."""
+    return [averaged_point(system, clients, **kwargs) for clients in client_counts]
+
+
+def jain_fairness(shares: list[float]) -> float:
+    """Jain's fairness index of per-client shares: 1.0 = perfectly fair,
+    ``1/len`` = one client gets everything.  Used to check the paper's
+    claim that AQM's rotating prioritisation keeps client outcomes even
+    (Section 5.1)."""
+    if not shares:
+        return 1.0
+    total = sum(shares)
+    squares = sum(share * share for share in shares)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(shares) * squares)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _spread(values: list[float]) -> float:
+    if len(values) < 2:
+        return 0.0
+    mean = _mean(values)
+    return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+
+
+def render_table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    """Format an aligned plain-text table, paper style."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def point_rows(points: list[Point], with_rejects: bool = False) -> list[list[str]]:
+    """Standard table rows for a list of points."""
+    rows = []
+    for point in points:
+        row = [
+            point.system,
+            str(point.clients),
+            f"{point.load_factor:.1f}x",
+            f"{point.throughput_kops:.1f}k",
+            f"{point.latency_ms:.2f}",
+            f"{point.latency_std_ms:.2f}",
+        ]
+        if with_rejects:
+            row.extend(
+                [
+                    f"{point.reject_throughput:.0f}",
+                    f"{100 * point.reject_share:.1f}%",
+                    f"{point.reject_latency_ms:.2f}",
+                ]
+            )
+        rows.append(row)
+    return rows
+
+
+POINT_HEADERS = ["system", "clients", "load", "tput", "lat ms", "lat std"]
+REJECT_HEADERS = POINT_HEADERS + ["rej/s", "rej %", "rej lat ms"]

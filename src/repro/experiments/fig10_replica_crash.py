@@ -1,0 +1,254 @@
+"""Figure 10: impact of replica failures on IDEM (and Paxos_LBR).
+
+Panels a-c (paper Section 7.7): throughput and latency timelines across
+a leader or follower crash, for IDEM and IDEM_noAQM, at normal load
+(50 clients, just before rejection bites) and overload (100 clients).
+The paper's findings to reproduce:
+
+* A leader crash halts IDEM for the view change (≈1.5 s, mostly the
+  view-change timeout), after which it recovers with a modest
+  throughput/latency penalty in the f+1-replica regime.
+* IDEM_noAQM becomes unstable with only f+1 replicas under overload —
+  the unanimity nudge of active queue management is what keeps the
+  reduced group productive.
+* A follower crash interrupts nothing.
+
+Panel d: reject latency across crashes, IDEM vs Paxos_LBR.  IDEM keeps
+rejecting continuously through a leader crash; Paxos_LBR cannot reject
+at all until the view change completes and clients fail over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.experiments import common
+from repro.experiments.charts import timeline_sparkline
+
+
+@dataclass
+class TimelineRun:
+    """One crash-timeline measurement."""
+
+    system: str
+    clients: int
+    target: str
+    crash_time: float
+    duration: float
+    throughput_series: list[tuple[float, float]]
+    latency_series: list[tuple[float, float]]  # (time, mean ms)
+    reject_rate_series: list[tuple[float, float]]
+    reject_latency_series: list[tuple[float, float]]
+    service_gap: float  # longest reply outage overlapping the crash
+    reject_downtime: float  # longest rejection outage overlapping the crash
+    pre_throughput: float
+    post_throughput: float
+    pre_latency_ms: float
+    post_latency_ms: float
+    timeouts: int
+
+
+def measure_timeline(
+    system: str,
+    clients: int,
+    target: str,
+    duration: float,
+    crash_time: float,
+    seed: int = 0,
+    bucket_width: float = 0.25,
+) -> TimelineRun:
+    """Run one crash scenario and extract its timelines."""
+    faults = FaultSchedule()
+    if target == "leader":
+        faults.crash_leader(crash_time)
+    else:
+        faults.crash_follower(crash_time)
+    spec = RunSpec(
+        system=system,
+        clients=clients,
+        duration=duration,
+        warmup=0.5,
+        seed=seed,
+        faults=faults,
+        keep_metrics=True,
+        bucket_width=bucket_width,
+    )
+    result = run_experiment(spec)
+    metrics = result.metrics
+    throughput_series = metrics.reply_counter.series()
+    latency_series = [
+        (time, value * 1e3) for time, value in metrics.latency_timeline()
+    ]
+    service_gap = _longest_outage(throughput_series, crash_time, duration, bucket_width)
+    reject_downtime = metrics.reject_gaps.longest_gap_overlapping(
+        crash_time, until=duration
+    )
+    settle = crash_time + 2.5  # skip the view-change transient
+    return TimelineRun(
+        system=system,
+        clients=clients,
+        target=target,
+        crash_time=crash_time,
+        duration=duration,
+        throughput_series=throughput_series,
+        latency_series=latency_series,
+        reject_rate_series=metrics.reject_counter.series(),
+        reject_latency_series=[
+            (time, value * 1e3) for time, value in metrics.reject_latency_timeline()
+        ],
+        service_gap=service_gap,
+        reject_downtime=reject_downtime,
+        pre_throughput=metrics.reply_counter.rate_between(1.0, crash_time),
+        post_throughput=metrics.reply_counter.rate_between(settle, duration),
+        pre_latency_ms=_mean_in(latency_series, 1.0, crash_time),
+        post_latency_ms=_mean_in(latency_series, settle, duration),
+        timeouts=result.timeouts,
+    )
+
+
+def _longest_outage(
+    series: list[tuple[float, float]],
+    crash_time: float,
+    duration: float,
+    bucket_width: float,
+) -> float:
+    """Longest run of zero-throughput buckets starting at/after the crash."""
+    longest = 0.0
+    current_start = None
+    for time, rate in series:
+        if time + bucket_width < crash_time:
+            continue
+        if rate == 0.0:
+            if current_start is None:
+                current_start = time
+            longest = max(longest, time + bucket_width - current_start)
+        else:
+            current_start = None
+    return longest
+
+
+def _mean_in(series: list[tuple[float, float]], start: float, end: float) -> float:
+    values = [value for time, value in series if start <= time < end]
+    return sum(values) / len(values) if values else 0.0
+
+
+@dataclass
+class Fig10Data:
+    """All panels of Figure 10."""
+
+    panels_abc: list[TimelineRun]  # idem / idem-noaqm crash timelines
+    panel_d: list[TimelineRun]  # idem vs paxos-lbr reject continuity
+
+    def find(
+        self, system: str, clients: int, target: str, panel_d: bool = False
+    ) -> TimelineRun:
+        source = self.panel_d if panel_d else self.panels_abc
+        for run_ in source:
+            if (
+                run_.system == system
+                and run_.clients == clients
+                and run_.target == target
+            ):
+                return run_
+        raise KeyError((system, clients, target))
+
+
+def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig10Data:
+    duration = 6.5 if quick else 9.0
+    crash_time = 2.5 if quick else 3.5
+    if quick:
+        abc_cases = [
+            ("idem", 100, "leader"),
+            ("idem-noaqm", 100, "leader"),
+        ]
+        d_cases = [
+            ("idem", 150, "leader"),
+            ("paxos-lbr", 150, "leader"),
+        ]
+    else:
+        abc_cases = [
+            (system, clients, target)
+            for system in ("idem", "idem-noaqm")
+            for clients in (50, 100)
+            for target in ("leader", "follower")
+        ]
+        d_cases = [
+            (system, 150, target)
+            for system in ("idem", "paxos-lbr")
+            for target in ("leader", "follower")
+        ]
+    panels_abc = [
+        measure_timeline(system, clients, target, duration, crash_time, seed=seed0)
+        for system, clients, target in abc_cases
+    ]
+    panel_d = [
+        measure_timeline(system, clients, target, duration, crash_time, seed=seed0)
+        for system, clients, target in d_cases
+    ]
+    return Fig10Data(panels_abc, panel_d)
+
+
+def render(data: Fig10Data) -> str:
+    headers = [
+        "system",
+        "clients",
+        "crash",
+        "pre tput",
+        "post tput",
+        "pre lat",
+        "post lat",
+        "svc gap s",
+        "rej gap s",
+    ]
+    rows = []
+    for run_ in data.panels_abc:
+        rows.append(
+            [
+                run_.system,
+                str(run_.clients),
+                run_.target,
+                f"{run_.pre_throughput / 1e3:.1f}k",
+                f"{run_.post_throughput / 1e3:.1f}k",
+                f"{run_.pre_latency_ms:.2f}",
+                f"{run_.post_latency_ms:.2f}",
+                f"{run_.service_gap:.2f}",
+                f"{run_.reject_downtime:.2f}",
+            ]
+        )
+    table_abc = common.render_table(
+        "Figure 10a-c: replica crash timelines (summary)", headers, rows
+    )
+    rows_d = []
+    for run_ in data.panel_d:
+        rows_d.append(
+            [
+                run_.system,
+                str(run_.clients),
+                run_.target,
+                f"{run_.pre_throughput / 1e3:.1f}k",
+                f"{run_.post_throughput / 1e3:.1f}k",
+                f"{run_.pre_latency_ms:.2f}",
+                f"{run_.post_latency_ms:.2f}",
+                f"{run_.service_gap:.2f}",
+                f"{run_.reject_downtime:.2f}",
+            ]
+        )
+    table_d = common.render_table(
+        "Figure 10d: reject continuity across crashes (IDEM vs Paxos_LBR)",
+        headers,
+        rows_d,
+    )
+    sparks = ["", "Throughput timelines (crash marked by the dip):"]
+    for run_ in data.panels_abc + data.panel_d:
+        # Align the sparkline bins with the metrics buckets (0.25 s) so
+        # resampling never produces artificial empty bins.
+        spark = timeline_sparkline(
+            run_.throughput_series, 0.0, run_.duration,
+            buckets=max(1, int(run_.duration / 0.25)),
+        )
+        sparks.append(
+            f"  {run_.system:11s} {run_.clients:4d}c {run_.target:8s} {spark}"
+        )
+    return table_abc + "\n\n" + table_d + "\n" + "\n".join(sparks)

@@ -1,0 +1,57 @@
+"""Figure 2: behaviour of existing replication protocols under load.
+
+The paper's motivating measurement: Paxos delivers low, stable latency
+up to its saturation point (the *good tier*), after which latency
+escalates with offered load (the *bad tier*).  We sweep closed-loop
+clients and report average latency (with its standard deviation) against
+achieved throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import common
+
+
+# Client counts spanning well below saturation (~50 clients) to 4x beyond.
+FULL_CLIENTS = [5, 10, 15, 25, 35, 50, 75, 100, 150, 200]
+QUICK_CLIENTS = [10, 35, 50, 100, 200]
+
+
+@dataclass
+class Fig2Data:
+    """The measured Paxos load/latency curve."""
+
+    points: list[common.Point]
+
+    def saturation_point(self) -> common.Point:
+        """The knee of the curve: the *lightest* load that already
+        achieves (within 5%) the maximum throughput.
+
+        Past the knee closed-loop clients only add queueing delay, so
+        the throughput curve is flat and ``argmax`` would pick an
+        arbitrary deep-overload point.
+        """
+        peak = max(point.throughput for point in self.points)
+        for point in self.points:
+            if point.throughput >= 0.95 * peak:
+                return point
+        return self.points[-1]
+
+
+def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig2Data:
+    """Measure the Paxos curve of Figure 2."""
+    clients = QUICK_CLIENTS if quick else FULL_CLIENTS
+    runs = runs or (1 if quick else None)
+    points = common.sweep("paxos", clients, runs=runs, seed0=seed0)
+    return Fig2Data(points)
+
+
+def render(data: Fig2Data) -> str:
+    """Paper-style series: latency (avg ± std) over throughput."""
+    return common.render_table(
+        "Figure 2: Paxos under increasing load (good tier -> bad tier)",
+        common.POINT_HEADERS,
+        common.point_rows(data.points),
+    )

@@ -1,0 +1,90 @@
+"""Figure 3: impact of a leader crash on rejections in Paxos_LBR.
+
+The motivating counter-example for leader-based rejection (Section 3.3):
+when rejection is the leader's job, a leader crash silences rejection
+notifications until the view change completes *and* clients have failed
+over to the new leader.  We run Paxos_LBR under overload, crash the
+leader mid-run, and measure the rejection-throughput timeline and the
+longest period without any rejection reaching a client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.experiments import common
+
+
+@dataclass
+class Fig3Data:
+    """Reject timeline of Paxos_LBR across a leader crash."""
+
+    crash_time: float
+    duration: float
+    reject_rate_series: list[tuple[float, float]]  # (time, rejects/s)
+    reject_downtime: float
+    pre_crash_reject_rate: float
+    post_crash_reject_rate: float
+
+
+def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig3Data:
+    """Run the Paxos_LBR leader-crash experiment."""
+    duration = 6.0 if quick else 9.0
+    crash_time = 2.5 if quick else 3.5
+    clients = 150  # well past the leader's rejection threshold
+    spec = RunSpec(
+        system="paxos-lbr",
+        clients=clients,
+        duration=duration,
+        warmup=0.5,
+        seed=seed0,
+        faults=FaultSchedule().crash_leader(crash_time),
+        keep_metrics=True,
+        bucket_width=0.25,
+    )
+    result = run_experiment(spec)
+    metrics = result.metrics
+    series = metrics.reject_counter.series()
+    downtime = max(
+        (
+            gap
+            for gap in _gaps_after(metrics.reject_gaps, crash_time)
+        ),
+        default=0.0,
+    )
+    return Fig3Data(
+        crash_time=crash_time,
+        duration=duration,
+        reject_rate_series=series,
+        reject_downtime=downtime,
+        pre_crash_reject_rate=metrics.reject_counter.rate_between(1.0, crash_time),
+        post_crash_reject_rate=metrics.reject_counter.rate_between(
+            duration - 1.0, duration
+        ),
+    )
+
+
+def _gaps_after(interval_recorder, crash_time: float) -> list[float]:
+    """All inter-rejection gaps (the crash-induced one dominates)."""
+    return list(interval_recorder.gaps)
+
+
+def render(data: Fig3Data) -> str:
+    rows = [
+        [f"{time:.2f}", f"{rate:.0f}"]
+        for time, rate in data.reject_rate_series
+        if rate > 0 or data.crash_time - 1 <= time <= data.crash_time + 5
+    ]
+    table = common.render_table(
+        "Figure 3: rejections/s over time, Paxos_LBR, leader crash "
+        f"at t={data.crash_time:.1f}s",
+        ["time s", "rejects/s"],
+        rows,
+    )
+    return table + (
+        f"\n\nreject downtime after the crash: {data.reject_downtime:.2f} s"
+        f"\nreject rate before crash: {data.pre_crash_reject_rate:.0f}/s, "
+        f"after recovery: {data.post_crash_reject_rate:.0f}/s"
+    )

@@ -1,0 +1,47 @@
+"""Figure 7: reject behaviour in IDEM under increasing load.
+
+Sweeps the client-load factor (1x = 50 clients, the saturation point)
+and reports reject throughput and reject latency.  The paper's claims
+(Section 7.3): reject latency stays stable (same range as replies) up to
+8x overload, and rejects remain a small share of total operations (<3%
+in moderate overload, ≈10% at 8x) because rejected clients back off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import common
+
+FULL_FACTORS = [1, 2, 3, 4, 6, 8]
+QUICK_FACTORS = [2, 8]
+
+
+@dataclass
+class Fig7Data:
+    """Reject throughput/latency per client-load factor."""
+
+    points: list[common.Point]
+
+    def point_at(self, factor: float) -> common.Point:
+        """The measured point for a given load factor."""
+        for point in self.points:
+            if abs(point.load_factor - factor) < 1e-9:
+                return point
+        raise KeyError(f"no point at load factor {factor}")
+
+
+def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig7Data:
+    factors = QUICK_FACTORS if quick else FULL_FACTORS
+    runs = runs or (1 if quick else None)
+    clients = [50 * factor for factor in factors]
+    points = common.sweep("idem", clients, runs=runs, seed0=seed0)
+    return Fig7Data(points)
+
+
+def render(data: Fig7Data) -> str:
+    return common.render_table(
+        "Figure 7: reject behaviour in IDEM under increasing load",
+        common.REJECT_HEADERS,
+        common.point_rows(data.points, with_rejects=True),
+    )

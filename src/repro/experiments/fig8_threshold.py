@@ -1,0 +1,72 @@
+"""Figure 8: variation of the reject threshold in IDEM.
+
+The reject threshold RT trades throughput against latency: RT=50 sits
+just below what the cluster can handle (lower plateau latency), RT=75
+slightly above the overload edge (more throughput, slightly higher
+plateau), and an artificially low RT=20 caps throughput around 2/3 of
+the maximum but pins latency near the floor.  Below the threshold, all
+configurations perform identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import common
+
+FULL_THRESHOLDS = [20, 50, 75]
+FULL_CLIENTS = [10, 25, 50, 75, 100, 150, 200, 300]
+QUICK_THRESHOLDS = [20, 75]
+QUICK_CLIENTS = [25, 150]
+
+
+@dataclass
+class Fig8Data:
+    """One load/latency curve per reject threshold."""
+
+    curves: dict[int, list[common.Point]]
+
+    def max_throughput(self, threshold: int) -> float:
+        return max(point.throughput for point in self.curves[threshold])
+
+    def plateau_latency(self, threshold: int) -> float:
+        """Mean latency (ms) at the heaviest load (the plateau level)."""
+        return self.curves[threshold][-1].latency_ms
+
+
+def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig8Data:
+    thresholds = QUICK_THRESHOLDS if quick else FULL_THRESHOLDS
+    clients = QUICK_CLIENTS if quick else FULL_CLIENTS
+    runs = runs or (1 if quick else None)
+    curves = {
+        threshold: common.sweep(
+            "idem",
+            clients,
+            runs=runs,
+            seed0=seed0,
+            overrides={"reject_threshold": threshold},
+        )
+        for threshold in thresholds
+    }
+    return Fig8Data(curves)
+
+
+def render(data: Fig8Data) -> str:
+    headers = ["RT"] + common.POINT_HEADERS
+    rows = []
+    for threshold, points in data.curves.items():
+        for row in common.point_rows(points):
+            rows.append([str(threshold)] + row)
+    table = common.render_table(
+        "Figure 8: variation of the reject threshold in IDEM",
+        headers,
+        rows,
+    )
+    summary = ["", "Per-threshold summary:"]
+    for threshold in data.curves:
+        summary.append(
+            f"  RT={threshold:3d}: max tput "
+            f"{data.max_throughput(threshold) / 1e3:5.1f}k, plateau latency "
+            f"{data.plateau_latency(threshold):5.2f} ms"
+        )
+    return table + "\n" + "\n".join(summary)

@@ -1,0 +1,42 @@
+"""Saving experiment results as JSON.
+
+Experiment modules return plain dataclasses; this module converts them
+to JSON-serialisable structures so results can be archived, diffed and
+plotted by external tooling (`repro-experiments --json DIR`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert dataclasses/tuples/dicts to JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: to_jsonable(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if hasattr(obj, "_asdict"):  # NamedTuple (check before plain tuples)
+        return to_jsonable(obj._asdict())
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(item) for item in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def save_json(data: Any, path: str | Path) -> Path:
+    """Write ``data`` (any experiment result) to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(to_jsonable(data), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

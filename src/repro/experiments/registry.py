@@ -1,0 +1,40 @@
+"""Registry mapping experiment ids to their modules."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.experiments import (
+    fig2_existing_protocols,
+    fig3_lbr_crash,
+    fig6_comparison,
+    fig7_reject_behavior,
+    fig8_threshold,
+    fig9_disruptive,
+    fig10_replica_crash,
+    tab1_overhead,
+)
+
+EXPERIMENTS: dict[str, ModuleType] = {
+    "fig2": fig2_existing_protocols,
+    "fig3": fig3_lbr_crash,
+    "fig6": fig6_comparison,
+    "fig7": fig7_reject_behavior,
+    "tab1": tab1_overhead,
+    "fig8": fig8_threshold,
+    "fig9": fig9_disruptive,
+    "fig10": fig10_replica_crash,
+}
+
+
+def run_experiment_by_id(
+    experiment_id: str, quick: bool = False, seed0: int = 0
+) -> str:
+    """Run one experiment and return its rendered report."""
+    module = EXPERIMENTS.get(experiment_id)
+    if module is None:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    data = module.run(quick=quick, seed0=seed0)
+    return module.render(data)

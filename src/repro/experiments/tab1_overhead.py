@@ -1,0 +1,130 @@
+"""Table 1: network-traffic overhead of IDEM's rejection mechanism.
+
+The paper issues a fixed number of 1,000,000 requests to IDEM and
+IDEM_noPR under medium load (0.5x), high load (1x) and overload (4x) and
+compares total network traffic; the two systems are indistinguishable
+(within the 2-3% run-to-run variation).  A request only counts when it
+completes successfully — rejected operations must be retried and their
+traffic still counts, which is exactly what makes this a real overhead
+test for the rejection mechanism.
+
+We scale the request count down (default 200,000, override with
+``REPRO_TAB1_REQUESTS``); traffic per request is count-invariant, and we
+also report the projection to the paper's 1M requests for comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.cluster.builder import build_cluster
+from repro.experiments import common
+
+LOADS = [("medium (0.5x)", 25), ("high (1x)", 50), ("overload (4x)", 200)]
+SYSTEMS = ["idem-nopr", "idem"]
+TIME_CAP = 120.0  # simulated seconds; generous safety bound
+
+
+@dataclass
+class Tab1Cell:
+    """One (system, load) measurement."""
+
+    system: str
+    load_label: str
+    clients: int
+    requests_completed: int
+    total_bytes: int
+    client_bytes: int
+    replica_bytes: int
+    rejects: int
+    sim_seconds: float
+
+    @property
+    def bytes_per_request(self) -> float:
+        """Average wire bytes per successfully completed request."""
+        return self.total_bytes / max(1, self.requests_completed)
+
+    @property
+    def projected_gb_per_million(self) -> float:
+        """Traffic projected to the paper's 1,000,000-request experiment."""
+        return self.bytes_per_request * 1_000_000 / 1e9
+
+
+@dataclass
+class Tab1Data:
+    """The full table."""
+
+    cells: list[Tab1Cell]
+    target_requests: int
+
+    def cell(self, system: str, load_label: str) -> Tab1Cell:
+        for cell in self.cells:
+            if cell.system == system and cell.load_label == load_label:
+                return cell
+        raise KeyError((system, load_label))
+
+
+def default_requests(quick: bool) -> int:
+    if quick:
+        return 20_000
+    return int(os.environ.get("REPRO_TAB1_REQUESTS", "200000"))
+
+
+def measure_cell(
+    system: str, load_label: str, clients: int, target: int, seed: int
+) -> Tab1Cell:
+    """Run ``system`` until ``target`` requests completed; meter traffic."""
+    cluster = build_cluster(system, clients, seed=seed)
+    step = 0.25
+    horizon = 0.0
+    while cluster.metrics.reply_counter.total() < target and horizon < TIME_CAP:
+        horizon += step
+        cluster.run_until(horizon)
+    traffic = cluster.network.traffic
+    return Tab1Cell(
+        system=system,
+        load_label=load_label,
+        clients=clients,
+        requests_completed=cluster.metrics.reply_counter.total(),
+        total_bytes=traffic.total_bytes,
+        client_bytes=traffic.client_bytes,
+        replica_bytes=traffic.replica_bytes,
+        rejects=cluster.metrics.reject_counter.total(),
+        sim_seconds=horizon,
+    )
+
+
+def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Tab1Data:
+    target = default_requests(quick)
+    cells = [
+        measure_cell(system, load_label, clients, target, seed0)
+        for system in SYSTEMS
+        for load_label, clients in LOADS
+    ]
+    return Tab1Data(cells, target)
+
+
+def render(data: Tab1Data) -> str:
+    headers = ["system", "load", "completed", "total GB", "GB per 1M reqs", "rejects"]
+    rows = []
+    for cell in data.cells:
+        rows.append(
+            [
+                cell.system,
+                cell.load_label,
+                str(cell.requests_completed),
+                f"{cell.total_bytes / 1e9:.3f}",
+                f"{cell.projected_gb_per_million:.2f}",
+                str(cell.rejects),
+            ]
+        )
+    table = common.render_table(
+        f"Table 1: rejection-mechanism traffic overhead "
+        f"({data.target_requests} completed requests per cell)",
+        headers,
+        rows,
+    )
+    notes = ["", "Paper reference (1M requests): IDEM_noPR 3.26/3.15/3.19 GB, "
+             "IDEM 3.24/3.08/3.19 GB — no visible difference."]
+    return table + "\n".join(notes)

@@ -1,0 +1,33 @@
+"""Node addressing.
+
+Addresses carry a *kind* ("replica" or "client") and an index.  The kind
+matters for traffic accounting: Table 1 of the paper separates traffic
+"both of clients and between replicas".
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+REPLICA = "replica"
+CLIENT = "client"
+
+
+class Address(NamedTuple):
+    """A network endpoint identifier: ``(kind, index)``."""
+
+    kind: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}-{self.index}"
+
+
+def replica_address(index: int) -> Address:
+    """The address of replica number ``index``."""
+    return Address(REPLICA, index)
+
+
+def client_address(index: int) -> Address:
+    """The address of client number ``index``."""
+    return Address(CLIENT, index)

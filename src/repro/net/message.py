@@ -1,0 +1,30 @@
+"""Base class for protocol messages.
+
+Concrete message types live with the protocols that use them
+(:mod:`repro.protocols.messages`); the network only requires that every
+message can report its wire size so traffic can be metered.
+"""
+
+from __future__ import annotations
+
+# A fixed per-message framing/header overhead (type tag, ids, checksums).
+# Chosen to resemble a compact binary wire format over TCP.
+HEADER_BYTES = 20
+
+
+class Message:
+    """Base class for all simulated wire messages."""
+
+    __slots__ = ()
+
+    def size_bytes(self) -> int:
+        """Wire size of the message in bytes, including framing."""
+        return HEADER_BYTES + self.payload_bytes()
+
+    def payload_bytes(self) -> int:
+        """Size of the message body; overridden by concrete types."""
+        return 0
+
+    def type_name(self) -> str:
+        """Short name used in traffic breakdowns and debug output."""
+        return type(self).__name__

@@ -1,0 +1,109 @@
+"""Network-level message tracing for debugging and analysis.
+
+Attach a :class:`MessageTracer` to a network to record every message
+placed on the wire: ``(time, src, dst, type, size)``.  Filters keep the
+trace focused (by message type, endpoint, or time window) and a record
+cap bounds memory.  The tracer is an observer — it never affects the
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, NamedTuple, Optional
+
+from repro.net.addresses import Address
+
+
+class TraceRecord(NamedTuple):
+    """One traced wire message."""
+
+    time: float
+    src: Address
+    dst: Address
+    type_name: str
+    size: int
+
+
+@dataclass
+class TraceFilter:
+    """What a tracer records; empty fields mean "everything"."""
+
+    types: Optional[frozenset[str]] = None
+    endpoints: Optional[frozenset[Address]] = None
+    start: float = 0.0
+    end: float = float("inf")
+
+    def matches(self, record: TraceRecord) -> bool:
+        """Whether ``record`` passes this filter."""
+        if not self.start <= record.time <= self.end:
+            return False
+        if self.types is not None and record.type_name not in self.types:
+            return False
+        if self.endpoints is not None and (
+            record.src not in self.endpoints and record.dst not in self.endpoints
+        ):
+            return False
+        return True
+
+
+class MessageTracer:
+    """Records wire messages matching a filter, up to ``max_records``.
+
+    Once the cap is hit, further records are counted but not stored
+    (``truncated`` reports how many were lost).
+    """
+
+    def __init__(
+        self,
+        trace_filter: Optional[TraceFilter] = None,
+        max_records: int = 100_000,
+    ):
+        if max_records < 1:
+            raise ValueError(f"max_records must be positive, got {max_records}")
+        self.filter = trace_filter or TraceFilter()
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.truncated = 0
+
+    def record(self, time: float, src: Address, dst: Address, type_name: str, size: int) -> None:
+        """Called by the network for every sent message."""
+        entry = TraceRecord(time, src, dst, type_name, size)
+        if not self.filter.matches(entry):
+            return
+        if len(self.records) >= self.max_records:
+            self.truncated += 1
+            return
+        self.records.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- analysis helpers --------------------------------------------------
+
+    def by_type(self) -> dict[str, int]:
+        """Message counts per type."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.type_name] = counts.get(record.type_name, 0) + 1
+        return counts
+
+    def between(self, a: Address, b: Address) -> list[TraceRecord]:
+        """Records exchanged between two endpoints (either direction)."""
+        return [
+            record
+            for record in self.records
+            if {record.src, record.dst} == {a, b}
+        ]
+
+    def conversation(self, rid_filter: Iterable[str] = ()) -> str:
+        """A human-readable rendering of the trace (message sequence)."""
+        lines = []
+        for record in self.records:
+            lines.append(
+                f"{record.time * 1e3:10.3f} ms  {str(record.src):>11s} -> "
+                f"{str(record.dst):<11s} {record.type_name:<14s} {record.size:>6d} B"
+            )
+        if self.truncated:
+            lines.append(f"... {self.truncated} further messages truncated")
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Byte-accurate traffic accounting.
+
+Reproduces the methodology of the paper's Table 1: every message placed
+on the wire is attributed to a flow class (client→replica,
+replica→client, replica→replica) and to its message type, so experiments
+can report both totals and breakdowns.
+"""
+
+from __future__ import annotations
+
+from repro.net.addresses import Address, CLIENT, REPLICA
+
+
+class TrafficMeter:
+    """Accumulates wire bytes by flow class and message type."""
+
+    def __init__(self) -> None:
+        self.total_bytes = 0
+        self.total_messages = 0
+        self._by_flow: dict[tuple[str, str], int] = {}
+        self._by_type: dict[str, int] = {}
+
+    def record(self, src: Address, dst: Address, type_name: str, size: int) -> None:
+        """Account for one message of ``size`` bytes from ``src`` to ``dst``."""
+        self.total_bytes += size
+        self.total_messages += 1
+        flow = (src.kind, dst.kind)
+        self._by_flow[flow] = self._by_flow.get(flow, 0) + size
+        self._by_type[type_name] = self._by_type.get(type_name, 0) + size
+
+    def flow_bytes(self, src_kind: str, dst_kind: str) -> int:
+        """Bytes sent on the given flow class so far."""
+        return self._by_flow.get((src_kind, dst_kind), 0)
+
+    @property
+    def client_bytes(self) -> int:
+        """Bytes on client↔replica flows (both directions)."""
+        return self.flow_bytes(CLIENT, REPLICA) + self.flow_bytes(REPLICA, CLIENT)
+
+    @property
+    def replica_bytes(self) -> int:
+        """Bytes on replica↔replica flows."""
+        return self.flow_bytes(REPLICA, REPLICA)
+
+    def by_type(self) -> dict[str, int]:
+        """Bytes per message type, for overhead breakdowns."""
+        return dict(self._by_type)
+
+    def snapshot(self) -> dict[str, int]:
+        """A small dictionary summary used by experiment reports."""
+        return {
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "client_bytes": self.client_bytes,
+            "replica_bytes": self.replica_bytes,
+        }

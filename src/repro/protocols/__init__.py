@@ -1,0 +1,17 @@
+"""Replication protocols.
+
+Shared plumbing (:mod:`repro.protocols.base`, :mod:`repro.protocols.messages`)
+plus the baselines the paper compares IDEM against:
+
+* :mod:`repro.protocols.paxos` — Kirsch–Amir-style leader-based Paxos,
+  optionally with leader-based rejection (Paxos_LBR, Section 3.3).
+* :mod:`repro.protocols.bftsmart` — a BFT-SMaRt-like protocol in its
+  crash-fault-tolerant configuration (Mod-SMaRt shape).
+
+IDEM itself lives in :mod:`repro.core`.
+"""
+
+from repro.protocols.config import ProtocolConfig
+from repro.protocols.messages import Rid
+
+__all__ = ["ProtocolConfig", "Rid"]

@@ -1,0 +1,5 @@
+"""A BFT-SMaRt-like protocol in its crash-fault-tolerant configuration."""
+
+from repro.protocols.bftsmart.replica import BftSmartReplica
+
+__all__ = ["BftSmartReplica"]

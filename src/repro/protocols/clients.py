@@ -1,0 +1,255 @@
+"""Closed-loop client drivers.
+
+Clients model the paper's benchmark clients (Section 7.1): each has at
+most one pending request at a time and issues the next operation as soon
+as the previous one completes (closed loop).  The semi-autonomous-client
+behaviour from the system model is implemented here too: when an
+operation is abandoned (rejection or timeout) an optional *fallback*
+callable is invoked, and after a rejection the client backs off for a
+random 50–100 ms before its next operation, as in Section 7.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.app.commands import Command
+from repro.cluster.metrics import MetricsCollector
+from repro.net.addresses import Address, client_address, replica_address
+from repro.net.message import Message
+from repro.net.network import Network, NetworkNode
+from repro.protocols.config import ProtocolConfig
+from repro.protocols.messages import Reject, Reply, Request, Rid
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+from repro.sim.timers import Timer
+from repro.workload.schedule import LoadSchedule
+from repro.workload.ycsb import YcsbWorkload
+
+# How long an inactive scheduled client waits before re-checking whether
+# the load schedule has activated it.
+_SCHEDULE_POLL = 0.02
+
+
+class BaseClient(NetworkNode):
+    """A closed-loop client issuing one request at a time.
+
+    Subclasses choose the request-dissemination strategy by overriding
+    :meth:`_send_request` and may add response handling (rejections).
+    """
+
+    def __init__(
+        self,
+        cid: int,
+        loop: EventLoop,
+        network: Network,
+        config: ProtocolConfig,
+        metrics: MetricsCollector,
+        workload: YcsbWorkload,
+        rng: RngRegistry,
+        stop_time: float = math.inf,
+        schedule: Optional[LoadSchedule] = None,
+        fallback: Optional[Callable[[Command], None]] = None,
+    ):
+        self.cid = cid
+        self.loop = loop
+        self.network = network
+        self.config = config
+        self.metrics = metrics
+        self.workload = workload
+        self.address = client_address(cid)
+        self.replicas = [replica_address(i) for i in range(config.n)]
+        self.stop_time = stop_time
+        self.schedule = schedule
+        self.fallback = fallback
+        self._ops_rng = rng.stream(f"client.{cid}.ops")
+        self._timing_rng = rng.stream(f"client.{cid}.timing")
+        self.onr = 0
+        self.current_rid: Optional[Rid] = None
+        self.current_command: Optional[Command] = None
+        self.send_time = 0.0
+        self._request_timer = Timer(loop, self._on_request_timeout)
+        self._retransmit_timer = Timer(loop, self._on_retransmit)
+        # When a driver is attached (open-loop load generation), the
+        # client reports completion instead of self-scheduling its next
+        # operation; see repro.workload.open_loop.
+        self.driver = None
+        # Clients that resend through another mechanism (leader failover)
+        # disable the generic retransmission timer.
+        self.retransmit_enabled = True
+        self.stopped = False
+        # Per-client outcome counters (fairness analysis, Section 5.1).
+        self.successes = 0
+        self.rejections = 0
+        self.timeouts = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self, at: float) -> None:
+        """Begin the closed loop at simulated time ``at``."""
+        self.loop.call_at(at, self._issue_next)
+
+    def stop(self) -> None:
+        """Stop issuing new operations (the pending one is abandoned)."""
+        self.stopped = True
+        self._request_timer.cancel()
+        self._retransmit_timer.cancel()
+
+    # -- the closed loop -----------------------------------------------
+
+    def _issue_next(self) -> None:
+        if self.stopped or self.loop.now >= self.stop_time:
+            return
+        if self.schedule is not None and (
+            self.cid >= self.schedule.active_clients(self.loop.now)
+        ):
+            self.loop.call_after(_SCHEDULE_POLL, self._issue_next)
+            return
+        self.onr += 1
+        self.current_rid = (self.cid, self.onr)
+        self.current_command = self.workload.next_command(self._ops_rng)
+        self.send_time = self.loop.now
+        self._reset_operation_state()
+        self._send_request(Request(self.current_rid, self.current_command))
+        self._request_timer.start(self.config.request_timeout)
+        if self.retransmit_enabled:
+            self._retransmit_timer.start(self.config.retransmit_interval)
+
+    def _schedule_next(self, delay: float) -> None:
+        if self.driver is not None:
+            self.driver.client_finished(self, delay)
+        else:
+            self.loop.call_after(delay, self._issue_next)
+
+    def _reset_operation_state(self) -> None:
+        """Hook: clear per-operation state before sending a new request."""
+
+    def _send_request(self, request: Request) -> None:
+        raise NotImplementedError
+
+    def _on_retransmit(self) -> None:
+        """Resend the pending request over the fair-loss links."""
+        if self.stopped or self.current_rid is None:
+            return
+        self._send_request(Request(self.current_rid, self.current_command))
+        self._retransmit_timer.start(self.config.retransmit_interval)
+
+    # -- responses -------------------------------------------------------
+
+    def deliver(self, src: Address, message: Message) -> None:
+        if isinstance(message, Reply):
+            self._on_reply(src, message)
+        elif isinstance(message, Reject):
+            self._on_reject(src, message)
+
+    def _on_reply(self, src: Address, message: Reply) -> None:
+        if message.rid != self.current_rid:
+            return  # late reply for an operation we already finished
+        self._finish_success()
+
+    def _on_reject(self, src: Address, message: Reject) -> None:
+        """Default: protocols without rejection ignore REJECTs."""
+
+    # -- outcomes --------------------------------------------------------
+
+    def _finish_success(self) -> None:
+        self._request_timer.cancel()
+        self._retransmit_timer.cancel()
+        now = self.loop.now
+        self.metrics.record_success(now, now - self.send_time)
+        self.successes += 1
+        self.current_rid = None
+        self._schedule_next(self.config.think_time)
+
+    def _finish_rejected(self) -> None:
+        """Abandon the operation after rejection: fallback, backoff, next."""
+        self._request_timer.cancel()
+        self._retransmit_timer.cancel()
+        now = self.loop.now
+        self.metrics.record_reject(now, now - self.send_time)
+        self.rejections += 1
+        self.current_rid = None
+        if self.fallback is not None:
+            self.fallback(self.current_command)
+        backoff = self._timing_rng.uniform(
+            self.config.reject_backoff_min, self.config.reject_backoff_max
+        )
+        self._schedule_next(backoff)
+
+    def _on_request_timeout(self) -> None:
+        self._retransmit_timer.cancel()
+        now = self.loop.now
+        self.metrics.record_timeout(now)
+        self.timeouts += 1
+        self.current_rid = None
+        if self.fallback is not None:
+            self.fallback(self.current_command)
+        self._schedule_next(0.0)
+
+
+class SingleTargetClient(BaseClient):
+    """A Paxos-style client that talks to the presumed leader only.
+
+    On silence it fails over to the next replica (client-side timeout),
+    which is what makes rejections unavailable for several seconds after
+    a leader crash in Paxos_LBR (Figure 3 / Figure 10d).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.presumed_leader = 0
+        self._failover_timer = Timer(self.loop, self._on_failover_timeout)
+        # The failover timer already resends; the generic retransmission
+        # timer would only duplicate it.
+        self.retransmit_enabled = False
+
+    def _send_request(self, request: Request) -> None:
+        self.network.send(
+            self.address, replica_address(self.presumed_leader), request
+        )
+        self._failover_timer.start(self.config.client_failover_timeout)
+
+    def _on_failover_timeout(self) -> None:
+        if self.current_rid is None or self.stopped:
+            return
+        self.presumed_leader = (self.presumed_leader + 1) % self.config.n
+        self.network.send(
+            self.address,
+            replica_address(self.presumed_leader),
+            Request(self.current_rid, self.current_command),
+        )
+        self._failover_timer.start(self.config.client_failover_timeout)
+
+    def _on_reply(self, src: Address, message: Reply) -> None:
+        # Learn the current leader from the reply's view.
+        self.presumed_leader = message.view % self.config.n
+        if message.rid != self.current_rid:
+            return
+        self._failover_timer.cancel()
+        self._finish_success()
+
+    def _finish_rejected(self) -> None:
+        self._failover_timer.cancel()
+        super()._finish_rejected()
+
+    def _on_request_timeout(self) -> None:
+        self._failover_timer.cancel()
+        super()._on_request_timeout()
+
+
+class LbrClient(SingleTargetClient):
+    """Paxos_LBR client: a single REJECT from the leader aborts the operation."""
+
+    def _on_reject(self, src: Address, message: Reject) -> None:
+        self.metrics.note_reject_message(self.loop.now)
+        if message.rid != self.current_rid:
+            return
+        self._finish_rejected()
+
+
+class BroadcastClient(BaseClient):
+    """A BFT-SMaRt-style client: multicast the request, first reply wins."""
+
+    def _send_request(self, request: Request) -> None:
+        self.network.multicast(self.address, self.replicas, request)

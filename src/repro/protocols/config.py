@@ -1,0 +1,107 @@
+"""Configuration shared by all replication protocols.
+
+The CPU-cost constants are the calibration knobs of the simulated
+cluster: together with the state machine's execution cost they determine
+where the system saturates.  The defaults are tuned (see
+``tests/test_calibration.py``) so that a 3-replica cluster saturates in
+the low tens of thousands of requests per second at ≈1 ms — the regime
+of the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ProtocolConfig:
+    """Parameters common to IDEM, Paxos, Paxos_LBR and BFT-SMaRt.
+
+    Attributes
+    ----------
+    n, f:
+        Group size and fault threshold; ``n`` must equal ``2f + 1``.
+    cost_client_request:
+        CPU seconds a replica spends receiving and admitting one client
+        REQUEST (parsing, dedup lookup, acceptance test).
+    cost_message:
+        Base CPU seconds for receiving any replica-to-replica message.
+    cost_per_id:
+        Incremental CPU seconds per id carried in a batch message.
+    cost_send:
+        CPU seconds the sender spends per message put on the wire.
+    cost_per_byte:
+        CPU seconds per wire byte, paid by both sender and receiver.
+        Models serialisation/copy bandwidth; this is what makes
+        full-request dissemination (Paxos, BFT-SMaRt proposals) heavier
+        than IDEM's id-based agreement (Section 4.2).
+    cost_execution_overhead:
+        Fixed per-batch execution overhead on top of the state machine's
+        per-command costs.
+    batch_max / batch_delay:
+        The leader proposes when ``batch_max`` requests are pending or
+        ``batch_delay`` seconds after the first pending one.
+    window_size:
+        Number of consensus instances kept live at once.
+    checkpoint_interval:
+        A checkpoint is taken every this many executed instances.
+    checkpoint_cost:
+        CPU seconds to create (or apply) a checkpoint.
+    view_change_timeout:
+        Progress timeout after which a replica suspects the leader.
+    request_timeout:
+        Client-side deadline after which an operation is abandoned.
+    client_failover_timeout:
+        For single-target clients (Paxos): resend to the next presumed
+        leader after this long without an answer.
+    think_time:
+        Closed-loop client pause between completion and the next request.
+    """
+
+    n: int = 3
+    f: int = 1
+    # CPU cost model (seconds).
+    cost_client_request: float = 3.0e-6
+    cost_message: float = 1.5e-6
+    cost_per_id: float = 0.3e-6
+    cost_send: float = 1.2e-6
+    cost_per_byte: float = 1.0e-9
+    cost_execution_overhead: float = 2.0e-6
+    # Log-normal sigma of per-job CPU-time noise (scheduling and
+    # processing-time variation, Section 5.1); the source of divergence
+    # between replicas' load views.
+    cpu_jitter_sigma: float = 0.15
+    # Batching.
+    batch_max: int = 32
+    batch_delay: float = 200e-6
+    # Agreement window and checkpointing.
+    window_size: int = 1024
+    checkpoint_interval: int = 512
+    checkpoint_cost: float = 400e-6
+    # Fault handling.
+    view_change_timeout: float = 1.4
+    # Client behaviour.
+    request_timeout: float = 4.0
+    client_failover_timeout: float = 1.0
+    think_time: float = 0.0
+    # Random delay before the next operation after a rejection
+    # (Section 7.1: 50-100 ms, the established backoff-with-jitter
+    # technique for load management).
+    reject_backoff_min: float = 0.05
+    reject_backoff_max: float = 0.10
+    # Fair-loss links require retransmission (Section 2.1): clients
+    # resend an unanswered request at this interval.
+    retransmit_interval: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n != 2 * self.f + 1:
+            raise ValueError(f"n must equal 2f+1, got n={self.n}, f={self.f}")
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be at least 1, got {self.batch_max}")
+        if self.window_size < 1:
+            raise ValueError(f"window_size must be positive, got {self.window_size}")
+
+    @property
+    def quorum(self) -> int:
+        """Commit/require quorum size: f + 1."""
+        return self.f + 1

@@ -1,0 +1,328 @@
+"""Wire messages shared by all protocols.
+
+Request ids follow the paper (Section 4.3): a tuple ``(cid, onr)`` of a
+static client identifier and a per-client operation number.  Sizes model
+a compact binary encoding; batch messages amortise their framing over
+all carried entries, which is what makes id-based agreement (IDEM)
+cheaper on the wire than full-request agreement (Paxos, BFT-SMaRt).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.app.commands import Command
+from repro.net.message import Message
+
+# A request id: (client id, client-local operation number).
+Rid = tuple[int, int]
+
+ID_BYTES = 12
+SQN_BYTES = 8
+VIEW_BYTES = 4
+
+
+class Request(Message):
+    """Client → replicas: execute ``command`` under request id ``rid``."""
+
+    __slots__ = ("rid", "command")
+
+    def __init__(self, rid: Rid, command: Command):
+        self.rid = rid
+        self.command = command
+
+    def payload_bytes(self) -> int:
+        return ID_BYTES + self.command.payload_bytes()
+
+
+class Reply(Message):
+    """Replica → client: the result of an executed request."""
+
+    __slots__ = ("rid", "ok", "reply_bytes", "view")
+
+    def __init__(self, rid: Rid, ok: bool, reply_bytes: int, view: int):
+        self.rid = rid
+        self.ok = ok
+        self.reply_bytes = reply_bytes
+        self.view = view
+
+    def payload_bytes(self) -> int:
+        return ID_BYTES + VIEW_BYTES + self.reply_bytes
+
+
+class Reject(Message):
+    """Replica → client: this replica will not process request ``rid`` (IDEM/LBR)."""
+
+    __slots__ = ("rid",)
+
+    def __init__(self, rid: Rid):
+        self.rid = rid
+
+    def payload_bytes(self) -> int:
+        return ID_BYTES
+
+
+class RequireBatch(Message):
+    """Replica → leader: these accepted request ids await ordering (IDEM)."""
+
+    __slots__ = ("rids",)
+
+    def __init__(self, rids: tuple[Rid, ...]):
+        self.rids = rids
+
+    def payload_bytes(self) -> int:
+        return ID_BYTES * len(self.rids)
+
+
+class Propose(Message):
+    """Leader → replicas: order this batch of request *ids* at ``sqn`` (IDEM).
+
+    ``threshold_hint`` optionally piggybacks the leader's current
+    adaptive reject threshold: the leader sits deepest in the execution
+    pipeline and is the first to observe congestion, so followers apply
+    the hint as a cap on their own thresholds (collaborative adaptive
+    control; see :class:`repro.core.acceptance.AdaptiveThreshold`).
+    """
+
+    __slots__ = ("view", "sqn", "rids", "threshold_hint")
+
+    def __init__(
+        self,
+        view: int,
+        sqn: int,
+        rids: tuple[Rid, ...],
+        threshold_hint: Optional[int] = None,
+    ):
+        self.view = view
+        self.sqn = sqn
+        self.rids = rids
+        self.threshold_hint = threshold_hint
+
+    def payload_bytes(self) -> int:
+        hint = 2 if self.threshold_hint is not None else 0
+        return VIEW_BYTES + SQN_BYTES + hint + ID_BYTES * len(self.rids)
+
+
+class ProposeFull(Message):
+    """Leader → replicas: order this batch of *full requests* (Paxos, BFT-SMaRt)."""
+
+    __slots__ = ("view", "sqn", "requests", "_payload")
+
+    def __init__(self, view: int, sqn: int, requests: tuple[Request, ...]):
+        self.view = view
+        self.sqn = sqn
+        self.requests = requests
+        self._payload = VIEW_BYTES + SQN_BYTES + sum(
+            request.payload_bytes() for request in requests
+        )
+
+    def payload_bytes(self) -> int:
+        return self._payload
+
+
+class Commit(Message):
+    """Replica → replicas: I endorse the proposal for ``sqn`` in ``view``."""
+
+    __slots__ = ("view", "sqn")
+
+    def __init__(self, view: int, sqn: int):
+        self.view = view
+        self.sqn = sqn
+
+    def payload_bytes(self) -> int:
+        return VIEW_BYTES + SQN_BYTES
+
+
+class Skip(Message):
+    """Slot owner → replicas: no-ops for my owned slots in ``[from_sqn, to_sqn)``.
+
+    Multi-leader (Mencius-style) operation only: an idle slot owner
+    releases its slots below the frontier so execution stays contiguous.
+    """
+
+    __slots__ = ("view", "from_sqn", "to_sqn")
+
+    def __init__(self, view: int, from_sqn: int, to_sqn: int):
+        self.view = view
+        self.from_sqn = from_sqn
+        self.to_sqn = to_sqn
+
+    def payload_bytes(self) -> int:
+        return VIEW_BYTES + 2 * SQN_BYTES
+
+
+class SkipAck(Message):
+    """Replica → slot owner: bulk commit for a skipped slot range."""
+
+    __slots__ = ("view", "from_sqn", "to_sqn")
+
+    def __init__(self, view: int, from_sqn: int, to_sqn: int):
+        self.view = view
+        self.from_sqn = from_sqn
+        self.to_sqn = to_sqn
+
+    def payload_bytes(self) -> int:
+        return VIEW_BYTES + 2 * SQN_BYTES
+
+
+class Forward(Message):
+    """Replica → replicas: relay of an accepted request's body (IDEM)."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, request: Request):
+        self.request = request
+
+    def payload_bytes(self) -> int:
+        return self.request.payload_bytes()
+
+
+class Fetch(Message):
+    """Replica → replica: please forward the body of request ``rid`` (IDEM)."""
+
+    __slots__ = ("rid",)
+
+    def __init__(self, rid: Rid):
+        self.rid = rid
+
+    def payload_bytes(self) -> int:
+        return ID_BYTES
+
+
+class WindowEntry:
+    """One consensus instance carried inside a view-change message."""
+
+    __slots__ = ("sqn", "view", "rids", "requests")
+
+    def __init__(
+        self,
+        sqn: int,
+        view: int,
+        rids: tuple[Rid, ...],
+        requests: Optional[tuple[Request, ...]] = None,
+    ):
+        self.sqn = sqn
+        self.view = view
+        self.rids = rids
+        self.requests = requests  # full bodies for full-request protocols
+
+    def payload_bytes(self) -> int:
+        size = SQN_BYTES + VIEW_BYTES + ID_BYTES * len(self.rids)
+        if self.requests is not None:
+            size += sum(request.payload_bytes() for request in self.requests)
+        return size
+
+
+class ViewChange(Message):
+    """Replica → replicas: abandon the current view, move to ``target_view``."""
+
+    __slots__ = ("target_view", "entries")
+
+    def __init__(self, target_view: int, entries: tuple[WindowEntry, ...]):
+        self.target_view = target_view
+        self.entries = entries
+
+    def payload_bytes(self) -> int:
+        return VIEW_BYTES + sum(entry.payload_bytes() for entry in self.entries)
+
+
+class NewView(Message):
+    """New leader → replicas: ``view`` starts; re-propose these instances."""
+
+    __slots__ = ("view", "entries", "next_sqn")
+
+    def __init__(self, view: int, entries: tuple[WindowEntry, ...], next_sqn: int):
+        self.view = view
+        self.entries = entries
+        self.next_sqn = next_sqn
+
+    def payload_bytes(self) -> int:
+        return VIEW_BYTES + SQN_BYTES + sum(
+            entry.payload_bytes() for entry in self.entries
+        )
+
+
+class NewViewAck(Message):
+    """Replica → replicas: bulk commit for all instances re-proposed in ``view``."""
+
+    __slots__ = ("view", "sqns")
+
+    def __init__(self, view: int, sqns: tuple[int, ...]):
+        self.view = view
+        self.sqns = sqns
+
+    def payload_bytes(self) -> int:
+        return VIEW_BYTES + SQN_BYTES * len(self.sqns)
+
+
+class Decided(Message):
+    """Replica → replica: this instance is final; adopt it regardless of view.
+
+    Sent in answer to a :class:`ProposalRequest` for an instance the
+    responder has already *executed* — the outcome can no longer change,
+    so the lagging replica may adopt it without any view check (the
+    classic Paxos "learn" message).  ``requests`` carries bodies for
+    full-request protocols.
+    """
+
+    __slots__ = ("sqn", "rids", "requests")
+
+    def __init__(
+        self,
+        sqn: int,
+        rids: tuple[Rid, ...],
+        requests: Optional[tuple[Request, ...]] = None,
+    ):
+        self.sqn = sqn
+        self.rids = rids
+        self.requests = requests
+
+    def payload_bytes(self) -> int:
+        size = SQN_BYTES + ID_BYTES * len(self.rids)
+        if self.requests is not None:
+            size += sum(request.payload_bytes() for request in self.requests)
+        return size
+
+
+class ProposalRequest(Message):
+    """Replica → replica: re-send me the proposal for ``sqn``.
+
+    Recovery path for fair-loss links: a replica that sees commits for a
+    sequence number it has no proposal for asks the committer to repeat
+    the proposal.
+    """
+
+    __slots__ = ("sqn",)
+
+    def __init__(self, sqn: int):
+        self.sqn = sqn
+
+    def payload_bytes(self) -> int:
+        return SQN_BYTES
+
+
+class CheckpointRequest(Message):
+    """Lagging replica → peer: send me your newest checkpoint."""
+
+    __slots__ = ("known_sqn",)
+
+    def __init__(self, known_sqn: int):
+        self.known_sqn = known_sqn
+
+    def payload_bytes(self) -> int:
+        return SQN_BYTES
+
+
+class CheckpointTransfer(Message):
+    """Peer → lagging replica: a full application checkpoint."""
+
+    __slots__ = ("sqn", "snapshot", "executed_onr", "declared_bytes")
+
+    def __init__(self, sqn: int, snapshot: Any, executed_onr: dict[int, int], declared_bytes: int):
+        self.sqn = sqn
+        self.snapshot = snapshot
+        self.executed_onr = executed_onr
+        self.declared_bytes = declared_bytes
+
+    def payload_bytes(self) -> int:
+        return SQN_BYTES + self.declared_bytes + ID_BYTES * len(self.executed_onr)

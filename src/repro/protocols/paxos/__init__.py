@@ -1,0 +1,6 @@
+"""Kirsch–Amir-style Paxos, optionally with leader-based rejection (LBR)."""
+
+from repro.protocols.paxos.config import PaxosConfig
+from repro.protocols.paxos.replica import PaxosReplica
+
+__all__ = ["PaxosConfig", "PaxosReplica"]

@@ -1,0 +1,31 @@
+"""Configuration of the Paxos baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.config import ProtocolConfig
+
+
+@dataclass
+class PaxosConfig(ProtocolConfig):
+    """Paxos parameters.
+
+    ``leader_rejection`` enables Paxos_LBR (Section 3.3): the leader —
+    and only the leader — runs a tail-drop acceptance test over its
+    outstanding requests and rejects the excess.  ``reject_threshold``
+    plays the role of IDEM's ``RT``: because IDEM clients multicast to
+    all replicas, every IDEM replica's active set approximates the
+    system-wide outstanding load, so the leader-side count here is
+    directly comparable to IDEM's per-replica threshold.
+    """
+
+    leader_rejection: bool = False
+    reject_threshold: int = 50
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.reject_threshold < 1:
+            raise ValueError(
+                f"reject threshold must be at least 1, got {self.reject_threshold}"
+            )

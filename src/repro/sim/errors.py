@@ -1,0 +1,13 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation kernel."""
+
+
+class StoppedError(SimulationError):
+    """Raised when an operation is attempted on a stopped event loop."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled in the past or with a bad delay."""

@@ -1,0 +1,150 @@
+"""The deterministic event loop at the heart of the simulator.
+
+The loop maintains a priority queue of :class:`Event` objects keyed by
+``(time, sequence_number)``.  The sequence number breaks ties between
+events scheduled for the same instant, which makes every simulation run
+bit-for-bit reproducible for a given seed: two events scheduled for the
+same simulated time always fire in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.sim.errors import SchedulingError, StoppedError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`EventLoop.call_at` and
+    :meth:`EventLoop.call_after` and can be cancelled before they fire.
+    Cancelled events stay in the heap but are skipped on dispatch, which
+    is much cheaper than removing them eagerly.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """A single-threaded discrete-event scheduler with a simulated clock.
+
+    Typical use::
+
+        loop = EventLoop()
+        loop.call_after(1.0, print, "one second of simulated time")
+        loop.run_until(10.0)
+
+    The clock only advances when events are dispatched; a run with no
+    events takes no wall-clock time regardless of the simulated horizon.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._stopped = False
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._dispatched
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``when``."""
+        if self._stopped:
+            raise StoppedError("cannot schedule events on a stopped loop")
+        if when < self._now:
+            raise SchedulingError(
+                f"cannot schedule event in the past: {when:.6f} < now {self._now:.6f}"
+            )
+        event = Event(when, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def stop(self) -> None:
+        """Stop the loop; :meth:`run_until` returns at the next dispatch point."""
+        self._stopped = True
+
+    def run_until(self, horizon: float) -> None:
+        """Dispatch events in order until the clock would pass ``horizon``.
+
+        On return the clock reads exactly ``horizon`` (unless the loop
+        was stopped early), so back-to-back calls with increasing
+        horizons behave like one long run.
+        """
+        heap = self._heap
+        while heap and not self._stopped:
+            event = heap[0]
+            if event.time > horizon:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._dispatched += 1
+            event.callback(*event.args)
+        if not self._stopped and self._now < horizon:
+            self._now = horizon
+
+    def run(self) -> None:
+        """Dispatch events until the heap is exhausted or the loop stops."""
+        heap = self._heap
+        while heap and not self._stopped:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._dispatched += 1
+            event.callback(*event.args)
+
+    def drain_cancelled(self) -> int:
+        """Remove cancelled events from the heap; returns how many were dropped.
+
+        Long-running simulations with heavy timer churn may call this
+        occasionally to bound heap growth.
+        """
+        before = len(self._heap)
+        alive = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(alive)
+        self._heap = alive
+        return before - len(alive)

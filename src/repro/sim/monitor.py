@@ -1,0 +1,216 @@
+"""Measurement primitives used by the experiment harness.
+
+These classes record what the paper's evaluation plots: latency samples
+with mean/std/percentile summaries (:class:`LatencyRecorder`), bucketed
+time series of throughput and latency for crash timelines
+(:class:`TimeSeries`, :class:`CounterSeries`), and windowed interval
+statistics (:class:`IntervalRecorder`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary of a sample: count, mean, standard deviation, percentiles."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+    @staticmethod
+    def empty() -> "SummaryStats":
+        """The summary of an empty sample (all statistics are zero)."""
+        return SummaryStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    @staticmethod
+    def of(samples: list[float]) -> "SummaryStats":
+        """Compute the summary of ``samples`` (which is not modified)."""
+        if not samples:
+            return SummaryStats.empty()
+        ordered = sorted(samples)
+        n = len(ordered)
+        mean = sum(ordered) / n
+        variance = sum((x - mean) ** 2 for x in ordered) / n
+        return SummaryStats(
+            count=n,
+            mean=mean,
+            std=math.sqrt(variance),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p90=_percentile(ordered, 0.90),
+            p99=_percentile(ordered, 0.99),
+        )
+
+
+def _bucket_index(time: float, width: float) -> int:
+    """Bucket index of ``time``, robust to float division noise."""
+    return int(time / width + 1e-9)
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation percentile of an already sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+class LatencyRecorder:
+    """Collects latency samples, optionally restricted to a measurement window.
+
+    Samples recorded before ``window_start`` or after ``window_end`` are
+    discarded, which is how experiments exclude warm-up and cool-down.
+    """
+
+    def __init__(self, window_start: float = 0.0, window_end: float = math.inf):
+        self.window_start = window_start
+        self.window_end = window_end
+        self.samples: list[float] = []
+
+    def record(self, time: float, latency: float) -> None:
+        """Record one latency sample taken at simulated time ``time``."""
+        if self.window_start <= time <= self.window_end:
+            self.samples.append(latency)
+
+    def summary(self) -> SummaryStats:
+        """Summarise the collected samples."""
+        return SummaryStats.of(self.samples)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class CounterSeries:
+    """Counts events into fixed-width time buckets (e.g. completions per 100 ms)."""
+
+    def __init__(self, bucket_width: float = 0.1):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket width must be positive, got {bucket_width}")
+        self.bucket_width = bucket_width
+        self._buckets: dict[int, int] = {}
+
+    def record(self, time: float, count: int = 1) -> None:
+        """Add ``count`` events at simulated time ``time``."""
+        index = int(time / self.bucket_width)
+        self._buckets[index] = self._buckets.get(index, 0) + count
+
+    def total(self) -> int:
+        """Total number of events recorded."""
+        return sum(self._buckets.values())
+
+    def count_in_bucket(self, index: int) -> int:
+        """Number of events recorded in bucket ``index``."""
+        return self._buckets.get(index, 0)
+
+    def series(self) -> list[tuple[float, float]]:
+        """Return ``(bucket_start_time, events_per_second)`` pairs in time order."""
+        if not self._buckets:
+            return []
+        first = min(self._buckets)
+        last = max(self._buckets)
+        return [
+            (index * self.bucket_width, self._buckets.get(index, 0) / self.bucket_width)
+            for index in range(first, last + 1)
+        ]
+
+    def rate_between(self, start: float, end: float) -> float:
+        """Average events per second over ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        first = _bucket_index(start, self.bucket_width)
+        last = _bucket_index(end, self.bucket_width)
+        total = sum(
+            self._buckets.get(index, 0) for index in range(first, last)
+        )
+        return total / (end - start) if last > first else 0.0
+
+
+class TimeSeries:
+    """Averages scalar samples into fixed-width time buckets.
+
+    Used for crash-timeline plots: latency per 100 ms bucket, etc.
+    """
+
+    def __init__(self, bucket_width: float = 0.1):
+        if bucket_width <= 0:
+            raise ValueError(f"bucket width must be positive, got {bucket_width}")
+        self.bucket_width = bucket_width
+        self._sums: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+
+    def record(self, time: float, value: float) -> None:
+        """Record one sample at simulated time ``time``."""
+        index = int(time / self.bucket_width)
+        self._sums[index] = self._sums.get(index, 0.0) + value
+        self._counts[index] = self._counts.get(index, 0) + 1
+
+    def series(self) -> list[tuple[float, float]]:
+        """Return ``(bucket_start_time, mean_value)`` pairs; empty buckets are skipped."""
+        return [
+            (index * self.bucket_width, self._sums[index] / self._counts[index])
+            for index in sorted(self._sums)
+        ]
+
+    def mean_between(self, start: float, end: float) -> float:
+        """Mean of samples whose bucket start lies in ``[start, end)``."""
+        first = _bucket_index(start, self.bucket_width)
+        last = _bucket_index(end, self.bucket_width)
+        total = 0.0
+        count = 0
+        for index in range(first, last):
+            if index in self._sums:
+                total += self._sums[index]
+                count += self._counts[index]
+        return total / count if count else 0.0
+
+
+@dataclass
+class IntervalRecorder:
+    """Tracks gaps between consecutive occurrences of an event.
+
+    Used to measure e.g. the longest period without any rejection being
+    delivered (the "reject downtime" of Figure 3 / Figure 10d).
+    """
+
+    last_time: float | None = None
+    gaps: list[float] = field(default_factory=list)
+    gap_ends: list[float] = field(default_factory=list)
+
+    def record(self, time: float) -> None:
+        """Record an occurrence at simulated time ``time``."""
+        if self.last_time is not None:
+            self.gaps.append(time - self.last_time)
+            self.gap_ends.append(time)
+        self.last_time = time
+
+    def longest_gap(self, until: float | None = None) -> float:
+        """The longest observed gap; optionally extends to a final time ``until``."""
+        longest = max(self.gaps, default=0.0)
+        if until is not None and self.last_time is not None:
+            longest = max(longest, until - self.last_time)
+        return longest
+
+    def longest_gap_overlapping(self, start: float, until: float | None = None) -> float:
+        """The longest gap that overlaps ``[start, ...]`` (e.g. after a crash)."""
+        longest = 0.0
+        for gap, end in zip(self.gaps, self.gap_ends):
+            if end >= start:
+                longest = max(longest, gap)
+        if until is not None and self.last_time is not None and until >= start:
+            longest = max(longest, until - self.last_time)
+        return longest

@@ -1,0 +1,84 @@
+"""Timer helpers built on top of the event loop.
+
+Protocol code mostly needs two shapes of timer:
+
+* :class:`Timer` — a one-shot timer that can be armed, cancelled and
+  re-armed (each arm replaces the previous one).
+* :class:`RestartableTimer` — the view-change / progress timer pattern:
+  a fixed delay that is repeatedly restarted while progress is observed
+  and fires only when left alone for a full period.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.loop import Event, EventLoop
+
+
+class Timer:
+    """A one-shot, re-armable timer.
+
+    ``start(delay)`` schedules the callback; starting an already-running
+    timer cancels the pending expiry first, so at most one expiry is
+    outstanding at any time.
+    """
+
+    def __init__(self, loop: EventLoop, callback: Callable[..., Any], *args: Any):
+        self._loop = loop
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether an expiry is currently scheduled."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm the timer to fire after ``delay`` seconds, replacing any pending expiry."""
+        self.cancel()
+        self._event = self._loop.call_after(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback(*self._args)
+
+
+class RestartableTimer:
+    """A progress timer with a fixed period.
+
+    The pattern from the paper's view-change mechanism: the timer is
+    (re)started whenever there is outstanding work, restarted whenever
+    progress is observed, and stopped when the node goes idle.  The
+    callback fires only if a full period elapses without a restart.
+    """
+
+    def __init__(self, loop: EventLoop, period: float, callback: Callable[..., Any], *args: Any):
+        if period <= 0:
+            raise ValueError(f"timer period must be positive, got {period}")
+        self.period = period
+        self._timer = Timer(loop, callback, *args)
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is armed."""
+        return self._timer.running
+
+    def start(self) -> None:
+        """Arm (or re-arm) the timer for one full period from now."""
+        self._timer.start(self.period)
+
+    def restart(self) -> None:
+        """Alias of :meth:`start`, used when progress is observed."""
+        self._timer.start(self.period)
+
+    def stop(self) -> None:
+        """Disarm the timer."""
+        self._timer.cancel()

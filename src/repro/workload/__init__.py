@@ -1,0 +1,36 @@
+"""Workload generation.
+
+Implements the YCSB core workload model the paper evaluates with
+(Section 7.1, update-heavy workload): an operation mix over a keyspace
+with configurable request distribution, plus time-varying load shapes
+for burst experiments.
+"""
+
+from repro.workload.keys import KeyChooser, LatestKeys, UniformKeys, ZipfianKeys
+from repro.workload.open_loop import OpenLoopDriver, spike_rate
+from repro.workload.schedule import BurstSchedule, ConstantSchedule, LoadSchedule, StepSchedule
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_UPDATE_HEAVY,
+    YcsbWorkload,
+)
+
+__all__ = [
+    "BurstSchedule",
+    "ConstantSchedule",
+    "KeyChooser",
+    "LatestKeys",
+    "LoadSchedule",
+    "OpenLoopDriver",
+    "spike_rate",
+    "StepSchedule",
+    "UniformKeys",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_UPDATE_HEAVY",
+    "YcsbWorkload",
+    "ZipfianKeys",
+]

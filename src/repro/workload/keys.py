@@ -1,0 +1,99 @@
+"""Key choosers: which record a YCSB operation touches.
+
+The zipfian generator follows the YCSB reference implementation
+(Gray et al.'s rejection-free algorithm) so that request skew matches
+what the paper's benchmark produced.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+
+class KeyChooser(ABC):
+    """Chooses record indices in ``[0, record_count)``."""
+
+    def __init__(self, record_count: int):
+        if record_count <= 0:
+            raise ValueError(f"record count must be positive, got {record_count}")
+        self.record_count = record_count
+
+    @abstractmethod
+    def next_index(self, rng: random.Random) -> int:
+        """Draw the index of the next record to touch."""
+
+
+class UniformKeys(KeyChooser):
+    """Every record is equally likely."""
+
+    def next_index(self, rng: random.Random) -> int:
+        return rng.randrange(self.record_count)
+
+
+class ZipfianKeys(KeyChooser):
+    """YCSB's zipfian distribution with constant ``theta`` (default 0.99).
+
+    Hot items get most requests; with theta=0.99 the most popular record
+    receives roughly 10% of all operations for a 1000-record keyspace.
+    Indices are scrambled via a multiplicative hash so that popularity is
+    spread across the keyspace rather than concentrated at index 0, as
+    in YCSB's "scrambled zipfian".
+    """
+
+    def __init__(self, record_count: int, theta: float = 0.99, scrambled: bool = True):
+        super().__init__(record_count)
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self.theta = theta
+        self.scrambled = scrambled
+        self._zetan = self._zeta(record_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / record_count) ** (1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / i**theta for i in range(1, n + 1))
+
+    def next_index(self, rng: random.Random) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5**self.theta:
+            rank = 1
+        else:
+            rank = int(
+                self.record_count * (self._eta * u - self._eta + 1.0) ** self._alpha
+            )
+            rank = min(rank, self.record_count - 1)
+        if not self.scrambled:
+            return rank
+        # Fibonacci hashing spreads hot ranks over the keyspace; the +1
+        # offset keeps rank 0 from mapping to index 0.
+        return ((rank + 1) * 2654435761) % self.record_count
+
+
+class LatestKeys(KeyChooser):
+    """Skews towards recently inserted records (YCSB's "latest").
+
+    Popularity follows a zipfian over recency: record ``count - 1`` is
+    the hottest.  ``advance`` shifts the window when inserts occur.
+    """
+
+    def __init__(self, record_count: int, theta: float = 0.99):
+        super().__init__(record_count)
+        self._zipf = ZipfianKeys(record_count, theta, scrambled=False)
+
+    def advance(self) -> None:
+        """Note that a new record was inserted (extends the keyspace)."""
+        self.record_count += 1
+        self._zipf = ZipfianKeys(self.record_count, self._zipf.theta, scrambled=False)
+
+    def next_index(self, rng: random.Random) -> int:
+        recency = self._zipf.next_index(rng)
+        return self.record_count - 1 - recency

@@ -1,0 +1,113 @@
+"""Open-loop (Poisson) load generation.
+
+Closed-loop clients self-limit: when latency grows, their request rate
+drops.  Real edge populations (Section 2.3's game players, web
+frontends) do not — arrivals keep coming regardless of how slow the
+service is, which is exactly the regime where overload turns
+*metastable*.  The :class:`OpenLoopDriver` generates request arrivals at
+a (possibly time-varying) Poisson rate and hands each one to an idle
+client from a finite pool; arrivals that find no idle client count as
+*shed* load (an unbounded queue would otherwise make every experiment
+end in trivial collapse).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Union
+
+from repro.sim.loop import EventLoop
+
+RateLike = Union[float, Callable[[float], float]]
+
+
+class OpenLoopDriver:
+    """Drives a pool of protocol clients with Poisson arrivals.
+
+    ``rate`` is either a constant (arrivals per second) or a callable
+    mapping simulated time to the instantaneous rate (piecewise rates
+    model load spikes).  Clients must be built by the cluster builder
+    but not started; the driver takes ownership of their scheduling.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        clients: list,
+        rate: RateLike,
+        rng,
+        stop_time: float = float("inf"),
+    ):
+        if not clients:
+            raise ValueError("open-loop driver needs at least one client")
+        self.loop = loop
+        self.clients = clients
+        self.rate = rate
+        self.rng = rng
+        self.stop_time = stop_time
+        self._idle: deque = deque(clients)
+        for client in clients:
+            client.driver = self
+        self.arrivals = 0
+        self.shed_arrivals = 0
+
+    # -- arrival process -------------------------------------------------
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin generating arrivals at simulated time ``at``."""
+        self.loop.call_at(at, self._arrival)
+
+    def current_rate(self) -> float:
+        """The instantaneous arrival rate at the current simulated time."""
+        if callable(self.rate):
+            return max(0.0, self.rate(self.loop.now))
+        return self.rate
+
+    def _arrival(self) -> None:
+        now = self.loop.now
+        if now >= self.stop_time:
+            return
+        rate = self.current_rate()
+        if rate <= 0.0:
+            # No load right now; re-check a little later.
+            self.loop.call_after(0.01, self._arrival)
+            return
+        self.arrivals += 1
+        if self._idle:
+            client = self._idle.popleft()
+            client._issue_next()
+        else:
+            self.shed_arrivals += 1
+        self.loop.call_after(self.rng.expovariate(rate), self._arrival)
+
+    # -- client pool -------------------------------------------------------
+
+    def client_finished(self, client, delay: float) -> None:
+        """Called by a client when its operation completes or aborts.
+
+        ``delay`` is the client's requested unavailability (e.g. the
+        post-rejection backoff); the client only rejoins the idle pool
+        afterwards.
+        """
+        if delay > 0:
+            self.loop.call_after(delay, self._idle.append, client)
+        else:
+            self._idle.append(client)
+
+    @property
+    def busy_clients(self) -> int:
+        """Clients currently executing (or backing off from) an operation."""
+        return len(self.clients) - len(self._idle)
+
+
+def spike_rate(
+    base: float, spike: float, start: float, duration: float
+) -> Callable[[float], float]:
+    """A rate function with one load spike: ``base`` everywhere, ``spike``
+    during ``[start, start + duration)``."""
+    def rate(time: float) -> float:
+        if start <= time < start + duration:
+            return spike
+        return base
+
+    return rate

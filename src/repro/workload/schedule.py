@@ -1,0 +1,96 @@
+"""Time-varying load schedules.
+
+The paper motivates proactive rejection with short load spikes between
+long phases of lower utilisation.  A :class:`LoadSchedule` tells the
+client driver how many clients should be active at a given simulated
+time, which is how burst and spike scenarios are expressed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+class LoadSchedule(ABC):
+    """Maps simulated time to the number of clients that should be active."""
+
+    @abstractmethod
+    def active_clients(self, time: float) -> int:
+        """How many clients are active at simulated time ``time``."""
+
+    def max_clients(self) -> int:
+        """Upper bound on active clients (how many client nodes to build)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(LoadSchedule):
+    """A fixed number of clients for the whole run."""
+
+    clients: int
+
+    def active_clients(self, time: float) -> int:
+        return self.clients
+
+    def max_clients(self) -> int:
+        return self.clients
+
+
+@dataclass(frozen=True)
+class StepSchedule(LoadSchedule):
+    """A piecewise-constant schedule: ``steps`` is [(start_time, clients), ...].
+
+    Steps must be sorted by start time; before the first step no client
+    is active.
+    """
+
+    steps: tuple[tuple[float, int], ...]
+
+    def __post_init__(self) -> None:
+        times = [time for time, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("schedule steps must be sorted by time")
+
+    def active_clients(self, time: float) -> int:
+        active = 0
+        for start, clients in self.steps:
+            if time >= start:
+                active = clients
+            else:
+                break
+        return active
+
+    def max_clients(self) -> int:
+        return max((clients for _, clients in self.steps), default=0)
+
+
+@dataclass(frozen=True)
+class BurstSchedule(LoadSchedule):
+    """A baseline load with periodic bursts.
+
+    ``base`` clients are always active; every ``period`` seconds a burst
+    of ``burst`` clients joins for ``burst_duration`` seconds.  Models
+    the "high loads mostly limited to short phases" scenario from the
+    paper's introduction.
+    """
+
+    base: int
+    burst: int
+    period: float
+    burst_duration: float
+
+    def __post_init__(self) -> None:
+        if self.period <= 0 or self.burst_duration <= 0:
+            raise ValueError("period and burst duration must be positive")
+        if self.burst_duration > self.period:
+            raise ValueError("burst duration cannot exceed the period")
+
+    def active_clients(self, time: float) -> int:
+        phase = time % self.period
+        if phase < self.burst_duration:
+            return self.base + self.burst
+        return self.base
+
+    def max_clients(self) -> int:
+        return self.base + self.burst

@@ -1,0 +1,146 @@
+"""Unit tests for IDEM's acceptance tests (paper Section 5.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.acceptance import (
+    AlwaysAccept,
+    AqmPriorityTest,
+    TailDrop,
+    make_acceptance_test,
+)
+from repro.core.config import IdemConfig
+
+
+class TestAlwaysAccept:
+    def test_accepts_everything(self):
+        test = AlwaysAccept()
+        assert test.accept((1, 1), 0.0, 10**9)
+
+
+class TestTailDrop:
+    def test_accepts_below_threshold(self):
+        test = TailDrop(50)
+        assert test.accept((1, 1), 0.0, 49)
+
+    def test_rejects_at_threshold(self):
+        test = TailDrop(50)
+        assert not test.accept((1, 1), 0.0, 50)
+        assert not test.accept((1, 1), 0.0, 120)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            TailDrop(0)
+
+
+class TestAqmPriorityTest:
+    def make(self, threshold=50) -> AqmPriorityTest:
+        return AqmPriorityTest(threshold, start_fraction=0.6, time_slice=2.0)
+
+    def test_everything_accepted_at_low_load(self):
+        test = self.make()
+        for cid in range(120):
+            assert test.accept((cid, 1), 0.0, 10)
+
+    def test_everything_rejected_when_full(self):
+        test = self.make()
+        for cid in range(120):
+            assert not test.accept((cid, 1), 0.0, 50)
+
+    def test_prioritized_clients_survive_heavy_load(self):
+        test = self.make()
+        # Make groups known: clients 0..99 -> groups 0 and 1.
+        for cid in (0, 99):
+            test.accept((cid, 1), 0.0, 0)
+        # During slice 0 group 0 is prioritized: any client 0..49 passes
+        # even at 98% load.
+        assert test.prioritized_group(0.0) == 0
+        for cid in range(0, 50, 7):
+            assert test.accept((cid, 1), 0.1, 49)
+
+    def test_prioritization_rotates_with_time_slices(self):
+        test = self.make()
+        for cid in (0, 99):
+            test.accept((cid, 1), 0.0, 0)
+        assert test.prioritized_group(0.0) == 0
+        assert test.prioritized_group(2.5) == 1
+        assert test.prioritized_group(4.1) == 0
+
+    def test_group_assignment(self):
+        test = self.make(threshold=50)
+        assert test.group_of(0) == 0
+        assert test.group_of(49) == 0
+        assert test.group_of(50) == 1
+        assert test.group_of(149) == 2
+
+    def test_nonprioritized_rejection_is_probabilistic_in_aggregate(self):
+        test = self.make()
+        for cid in (0, 99):
+            test.accept((cid, 1), 0.0, 0)
+        # Group 1 (cids 50..99) is not prioritized in slice 0; at 90%
+        # load roughly 90% of its requests should be rejected.
+        decisions = [
+            test.accept((cid, onr), 0.1, 45)
+            for cid in range(50, 100)
+            for onr in range(1, 21)
+        ]
+        reject_share = decisions.count(False) / len(decisions)
+        assert 0.8 < reject_share < 0.98
+
+    def test_below_start_fraction_everyone_passes(self):
+        test = self.make()
+        for cid in (0, 99):
+            test.accept((cid, 1), 0.0, 0)
+        for cid in range(50, 100, 5):
+            assert test.accept((cid, 1), 0.1, 25)  # 50% < 60% start
+
+    def test_replicas_reach_identical_decisions_at_equal_load(self):
+        """The shared pseudo-random function makes two independent
+        replica-side instances agree given the same observations."""
+        a = self.make()
+        b = self.make()
+        for cid in (0, 99):
+            a.accept((cid, 1), 0.0, 0)
+            b.accept((cid, 1), 0.0, 0)
+        for cid in range(100):
+            for onr in range(1, 6):
+                assert a.accept((cid, onr), 1.0, 42) == b.accept((cid, onr), 1.0, 42)
+
+    @given(
+        cid=st.integers(0, 500),
+        onr=st.integers(1, 1000),
+        active=st.integers(0, 49),
+        now=st.floats(min_value=0, max_value=100),
+    )
+    def test_decision_is_deterministic_per_input(self, cid, onr, active, now):
+        test = AqmPriorityTest(50)
+        test._group_count = 11  # fix the group universe
+        first = test.accept((cid, onr), now, active)
+        assert test.accept((cid, onr), now, active) == first
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AqmPriorityTest(0)
+        with pytest.raises(ValueError):
+            AqmPriorityTest(50, time_slice=0)
+
+
+class TestFactory:
+    def test_default_is_aqm(self):
+        assert isinstance(make_acceptance_test(IdemConfig()), AqmPriorityTest)
+
+    def test_rejection_disabled_gives_always_accept(self):
+        config = IdemConfig(rejection_enabled=False)
+        assert isinstance(make_acceptance_test(config), AlwaysAccept)
+
+    def test_taildrop_selection(self):
+        config = IdemConfig(acceptance="taildrop")
+        test = make_acceptance_test(config)
+        assert isinstance(test, TailDrop)
+        assert test.threshold == config.reject_threshold
+
+    def test_unknown_name_rejected(self):
+        config = IdemConfig()
+        config.acceptance = "nonsense"
+        with pytest.raises(ValueError):
+            make_acceptance_test(config)

@@ -1,0 +1,234 @@
+"""Tests for the "further options" acceptance tests and early warning.
+
+The paper (Section 5.1) explicitly leaves the acceptance test open and
+sketches request priority categories and cost-based analysis as
+alternatives; Section 5.3 sketches an early-warning optimisation for
+optimistic clients.  These are implemented as
+:class:`~repro.core.acceptance.PriorityClassTest`,
+:class:`~repro.core.acceptance.CostAwareTest` and
+``IdemClient(early_warning=...)``.
+"""
+
+import pytest
+
+from repro.app.commands import Command, KvOp
+from repro.core.acceptance import (
+    CostAwareTest,
+    PriorityClassTest,
+    default_command_cost,
+    make_acceptance_test,
+)
+from repro.core.config import IdemConfig
+
+
+def by_client_parity(rid, command):
+    """Even clients are high priority (class 0), odd ones low (class 1)."""
+    return rid[0] % 2
+
+
+class TestPriorityClassTest:
+    def make(self):
+        return PriorityClassTest(
+            threshold=50,
+            class_of=by_client_parity,
+            start_fractions={0: 1.0, 1: 0.5},
+        )
+
+    def test_everyone_accepted_at_low_load(self):
+        test = self.make()
+        for cid in range(10):
+            assert test.accept((cid, 1), 0.0, 10)
+
+    def test_everyone_rejected_at_full_load(self):
+        test = self.make()
+        for cid in range(10):
+            assert not test.accept((cid, 1), 0.0, 50)
+
+    def test_high_priority_class_survives_heavy_load(self):
+        test = self.make()
+        for cid in range(0, 20, 2):  # even = high priority
+            assert test.accept((cid, 1), 0.0, 49)
+
+    def test_low_priority_class_rejected_under_pressure(self):
+        test = self.make()
+        decisions = [
+            test.accept((cid, onr), 0.0, 48)  # 96% load, past the 50% start
+            for cid in range(1, 101, 2)
+            for onr in range(1, 11)
+        ]
+        reject_share = decisions.count(False) / len(decisions)
+        assert reject_share > 0.8
+
+    def test_low_priority_class_untouched_below_its_start(self):
+        test = self.make()
+        for cid in range(1, 21, 2):
+            assert test.accept((cid, 1), 0.0, 20)  # 40% < 50% start
+
+    def test_decisions_shared_across_replica_instances(self):
+        a, b = self.make(), self.make()
+        for cid in range(40):
+            for onr in range(1, 4):
+                assert a.accept((cid, onr), 0.0, 40) == b.accept((cid, onr), 0.0, 40)
+
+    def test_unknown_class_defaults_to_highest_priority(self):
+        test = PriorityClassTest(50, lambda rid, cmd: 7, {0: 0.5})
+        assert test.accept((1, 1), 0.0, 49)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriorityClassTest(0, by_client_parity, {})
+        with pytest.raises(ValueError):
+            PriorityClassTest(50, by_client_parity, {0: 1.5})
+
+
+class TestCostAwareTest:
+    def test_cheap_requests_accepted_until_full(self):
+        test = CostAwareTest(50)
+        read = Command(KvOp.READ, "k")
+        assert test.accept((1, 1), 0.0, 49, read)
+        assert not test.accept((1, 1), 0.0, 50, read)
+
+    def test_expensive_request_needs_room(self):
+        test = CostAwareTest(50)
+        scan = Command(KvOp.SCAN, "k", 0, 10)
+        assert not test.accept((1, 1), 0.0, 45, scan)  # 45 + 10 > 50
+        assert test.accept((1, 1), 0.0, 20, scan)
+
+    def test_expensive_requests_shed_early_in_aggregate(self):
+        test = CostAwareTest(50, early_fraction=0.5)
+        scan = Command(KvOp.SCAN, "k", 0, 8)
+        decisions = [
+            test.accept((cid, onr), 0.0, 40, scan)  # 80% load
+            for cid in range(50)
+            for onr in range(1, 11)
+        ]
+        reject_share = decisions.count(False) / len(decisions)
+        assert 0.2 < reject_share < 0.9
+
+    def test_missing_command_treated_as_cheap(self):
+        test = CostAwareTest(50)
+        assert test.accept((1, 1), 0.0, 49, None)
+
+    def test_default_cost_estimate(self):
+        assert default_command_cost(None) == 1.0
+        assert default_command_cost(Command(KvOp.READ, "k")) == 1.0
+        assert default_command_cost(Command(KvOp.SCAN, "k", 0, 7)) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostAwareTest(0)
+        with pytest.raises(ValueError):
+            CostAwareTest(50, early_fraction=2.0)
+
+    def test_factory_selection(self):
+        config = IdemConfig(acceptance="cost")
+        assert isinstance(make_acceptance_test(config), CostAwareTest)
+
+
+class TestCostAwareEndToEnd:
+    def test_scans_shed_before_points_under_overload(self):
+        """With the cost-aware test, SCAN-heavy clients feel rejection
+        harder than point-op clients under the same load."""
+        from dataclasses import replace
+
+        from repro.cluster.builder import build_cluster
+        from repro.workload.ycsb import WORKLOAD_UPDATE_HEAVY
+        from tests.conftest import small_profile
+
+        profile = small_profile()
+        profile.workload = replace(
+            WORKLOAD_UPDATE_HEAVY,
+            name="scan-mix",
+            record_count=50,
+            read_proportion=0.3,
+            update_proportion=0.4,
+            scan_proportion=0.3,
+            max_scan_length=8,
+        )
+        cluster = build_cluster(
+            "idem",
+            25,
+            seed=2,
+            profile=profile,
+            overrides={"acceptance": "cost", "reject_threshold": 5},
+            stop_time=0.8,
+        )
+        cluster.run_until(0.8)
+        cluster.stop_clients()
+        cluster.run_until(1.5)
+        rejected = sum(r.stats["rejected"] for r in cluster.replicas)
+        assert rejected > 0
+        assert sum(c.successes for c in cluster.clients) > 0
+
+
+class TestEarlyWarning:
+    def test_warning_fires_at_ambivalence_before_abort(self):
+        from repro.cluster.metrics import MetricsCollector
+        from repro.core.client import IdemClient
+        from repro.net.addresses import replica_address
+        from repro.net.latency import ConstantLatency
+        from repro.net.network import Network
+        from repro.protocols.messages import Reject
+        from repro.sim.loop import EventLoop
+        from repro.sim.rng import RngRegistry
+        from repro.workload.ycsb import YcsbWorkload
+
+        warnings = []
+        loop = EventLoop()
+        rng = RngRegistry(1)
+        network = Network(loop, rng, latency_model=ConstantLatency(1e-4))
+        config = IdemConfig()
+        client = IdemClient(
+            0,
+            loop,
+            network,
+            config,
+            MetricsCollector(),
+            YcsbWorkload(),
+            rng,
+            early_warning=warnings.append,
+        )
+        network.attach(client)
+        client.start(at=0.0)
+        loop.run_until(0.001)
+        rid = client.current_rid
+        client.deliver(replica_address(0), Reject(rid))
+        assert warnings == []  # one reject is not ambivalence yet
+        client.deliver(replica_address(1), Reject(rid))
+        assert len(warnings) == 1  # n - f rejects: warn now...
+        assert client.rejections == 0  # ...but keep waiting
+        assert client.early_warnings == 1
+        loop.run_until(loop.now + config.optimistic_grace + 1e-3)
+        assert client.rejections == 1  # grace expired: abandoned
+
+    def test_no_warning_when_reply_wins(self):
+        from repro.cluster.metrics import MetricsCollector
+        from repro.core.client import IdemClient
+        from repro.net.addresses import replica_address
+        from repro.net.latency import ConstantLatency
+        from repro.net.network import Network
+        from repro.protocols.messages import Reply
+        from repro.sim.loop import EventLoop
+        from repro.sim.rng import RngRegistry
+        from repro.workload.ycsb import YcsbWorkload
+
+        warnings = []
+        loop = EventLoop()
+        rng = RngRegistry(1)
+        network = Network(loop, rng, latency_model=ConstantLatency(1e-4))
+        client = IdemClient(
+            0,
+            loop,
+            network,
+            IdemConfig(),
+            MetricsCollector(),
+            YcsbWorkload(),
+            rng,
+            early_warning=warnings.append,
+        )
+        network.attach(client)
+        client.start(at=0.0)
+        loop.run_until(0.001)
+        client.deliver(replica_address(0), Reply(client.current_rid, True, 1, 0))
+        assert warnings == []
+        assert client.successes == 1

@@ -1,0 +1,136 @@
+"""Unit tests for the replicated applications (KV store and counter)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.app.commands import Command, KvOp
+from repro.app.counter import CounterApp
+from repro.app.kvstore import KeyValueStore
+
+
+class TestKeyValueStore:
+    def test_update_then_read(self):
+        store = KeyValueStore()
+        store.apply(Command(KvOp.UPDATE, "k", 100))
+        result = store.apply(Command(KvOp.READ, "k"))
+        assert result.ok
+        assert result.value_size == 100
+        assert result.reply_bytes == 101
+
+    def test_read_missing_key(self):
+        result = KeyValueStore().apply(Command(KvOp.READ, "missing"))
+        assert not result.ok
+
+    def test_insert_counts_records(self):
+        store = KeyValueStore()
+        for i in range(5):
+            store.apply(Command(KvOp.INSERT, f"k{i}", 10))
+        assert len(store) == 5
+
+    def test_update_overwrites(self):
+        store = KeyValueStore()
+        store.apply(Command(KvOp.UPDATE, "k", 100))
+        store.apply(Command(KvOp.UPDATE, "k", 50))
+        assert store.get_size("k") == 50
+        assert len(store) == 1
+
+    def test_scan_is_deterministic_and_bounded(self):
+        store = KeyValueStore()
+        for i in range(10):
+            store.apply(Command(KvOp.INSERT, f"k{i}", 10))
+        result = store.apply(Command(KvOp.SCAN, "k3", 0, 4))
+        assert result.ok
+        assert result.value_size == 40  # k3..k6
+
+    def test_scan_costs_scale_with_length(self):
+        store = KeyValueStore(base_execution_cost=1e-6)
+        point = store.execution_cost(Command(KvOp.READ, "k"))
+        scan = store.execution_cost(Command(KvOp.SCAN, "k", 0, 10))
+        assert scan == pytest.approx(10 * point)
+
+    def test_snapshot_restore_round_trip(self):
+        store = KeyValueStore()
+        store.apply(Command(KvOp.UPDATE, "a", 1))
+        store.apply(Command(KvOp.UPDATE, "b", 2))
+        snapshot = store.snapshot()
+        store.apply(Command(KvOp.UPDATE, "a", 99))
+        store.restore(snapshot)
+        assert store.get_size("a") == 1
+        assert store.get_size("b") == 2
+
+    def test_snapshot_is_a_copy(self):
+        store = KeyValueStore()
+        store.apply(Command(KvOp.UPDATE, "a", 1))
+        snapshot = store.snapshot()
+        store.apply(Command(KvOp.UPDATE, "a", 2))
+        assert snapshot["a"] == 1
+
+    def test_digest_reflects_state(self):
+        a, b = KeyValueStore(), KeyValueStore()
+        a.apply(Command(KvOp.UPDATE, "k", 1))
+        assert a.digest() != b.digest()
+        b.apply(Command(KvOp.UPDATE, "k", 1))
+        assert a.digest() == b.digest()
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            KeyValueStore().apply(Command(KvOp.INCREMENT, "k"))
+
+    def test_snapshot_bytes_counts_values(self):
+        store = KeyValueStore()
+        store.apply(Command(KvOp.UPDATE, "key", 100))
+        assert store.snapshot_bytes() == len("key") + 8 + 100
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(1, 100)),
+            max_size=50,
+        )
+    )
+    def test_same_command_sequence_same_digest(self, operations):
+        a, b = KeyValueStore(), KeyValueStore()
+        for key, size in operations:
+            a.apply(Command(KvOp.UPDATE, key, size))
+            b.apply(Command(KvOp.UPDATE, key, size))
+        assert a.digest() == b.digest()
+
+
+class TestCounterApp:
+    def test_increment_and_read(self):
+        app = CounterApp()
+        app.apply(Command(KvOp.INCREMENT, "c"))
+        app.apply(Command(KvOp.INCREMENT, "c"))
+        result = app.apply(Command(KvOp.READ, "c"))
+        assert result.value_size == 2
+        assert app.value("c") == 2
+
+    def test_unknown_key_reads_zero(self):
+        assert CounterApp().value("nope") == 0
+
+    def test_snapshot_restore(self):
+        app = CounterApp()
+        app.apply(Command(KvOp.INCREMENT, "c"))
+        snapshot = app.snapshot()
+        app.apply(Command(KvOp.INCREMENT, "c"))
+        app.restore(snapshot)
+        assert app.value("c") == 1
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            CounterApp().apply(Command(KvOp.SCAN, "x"))
+
+    def test_operations_applied_counter(self):
+        app = CounterApp()
+        for _ in range(3):
+            app.apply(Command(KvOp.INCREMENT, "c"))
+        assert app.operations_applied == 3
+
+
+class TestCommand:
+    def test_payload_bytes(self):
+        command = Command(KvOp.UPDATE, "key", 100)
+        assert command.payload_bytes() == 1 + 3 + 100
+
+    def test_read_payload_has_no_value(self):
+        command = Command(KvOp.READ, "key")
+        assert command.payload_bytes() == 1 + 3

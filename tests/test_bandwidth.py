@@ -1,0 +1,140 @@
+"""Tests for egress-bandwidth modelling and the leader-link bottleneck.
+
+The paper's Section 4.2 argues that clients multicasting requests and
+id-based agreement remove a common bottleneck: in traditional protocols
+the leader distributes full requests, so its network link saturates
+first.  With a constrained egress link, our Paxos should lose throughput
+while IDEM (ids only on the leader's link) keeps most of its capacity.
+"""
+
+import pytest
+
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.net.addresses import replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.message import Message
+from repro.net.network import Network, NetworkNode
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+from tests.conftest import small_profile
+
+
+class Blob(Message):
+    __slots__ = ("size",)
+
+    def __init__(self, size: int):
+        self.size = size
+
+    def payload_bytes(self) -> int:
+        return self.size
+
+
+class Sink(NetworkNode):
+    def __init__(self, address, loop):
+        self.address = address
+        self.loop = loop
+        self.times = []
+
+    def deliver(self, src, message):
+        self.times.append(self.loop.now)
+
+
+def make(bandwidth):
+    loop = EventLoop()
+    network = Network(
+        loop,
+        RngRegistry(1),
+        latency_model=ConstantLatency(0.0),
+        egress_bandwidth=bandwidth,
+    )
+    a = Sink(replica_address(0), loop)
+    b = Sink(replica_address(1), loop)
+    network.attach(a)
+    network.attach(b)
+    return loop, network, a, b
+
+
+class TestSerializationDelay:
+    def test_single_message_takes_size_over_bandwidth(self):
+        loop, network, a, b = make(bandwidth=1e6)  # 1 MB/s
+        network.send(a.address, b.address, Blob(10_000))
+        loop.run_until(1.0)
+        expected = Blob(10_000).size_bytes() / 1e6
+        assert b.times == [pytest.approx(expected)]
+
+    def test_messages_queue_on_the_senders_link(self):
+        loop, network, a, b = make(bandwidth=1e6)
+        for _ in range(3):
+            network.send(a.address, b.address, Blob(10_000))
+        loop.run_until(1.0)
+        per_message = Blob(10_000).size_bytes() / 1e6
+        assert b.times == [
+            pytest.approx(per_message * (i + 1)) for i in range(3)
+        ]
+
+    def test_links_are_independent_per_sender(self):
+        loop, network, a, b = make(bandwidth=1e6)
+        network.send(a.address, b.address, Blob(10_000))
+        network.send(b.address, a.address, Blob(10_000))
+        loop.run_until(1.0)
+        per_message = Blob(10_000).size_bytes() / 1e6
+        assert a.times == [pytest.approx(per_message)]
+        assert b.times == [pytest.approx(per_message)]
+
+    def test_link_idles_between_bursts(self):
+        loop, network, a, b = make(bandwidth=1e6)
+        network.send(a.address, b.address, Blob(10_000))
+        loop.call_after(0.5, network.send, a.address, b.address, Blob(10_000))
+        loop.run_until(1.0)
+        per_message = Blob(10_000).size_bytes() / 1e6
+        assert b.times[1] == pytest.approx(0.5 + per_message)
+
+    def test_backlog_accounting(self):
+        loop, network, a, b = make(bandwidth=1e6)
+        network.send(a.address, b.address, Blob(1_000_000))
+        assert network.egress_backlog(a.address) == pytest.approx(
+            Blob(1_000_000).size_bytes() / 1e6
+        )
+
+    def test_disabled_by_default(self):
+        loop, network, a, b = make(bandwidth=None)
+        network.send(a.address, b.address, Blob(10_000_000))
+        loop.run_until(1.0)
+        assert b.times == [0.0]
+
+    def test_invalid_bandwidth_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            Network(loop, RngRegistry(0), egress_bandwidth=0.0)
+
+
+class TestLeaderLinkBottleneck:
+    def test_full_request_protocol_suffers_more_than_idem(self):
+        """Constrain egress to ~40 MB/s: the Paxos leader must push full
+        1 KB requests to every follower and saturates its link; IDEM's
+        leader only ships ids."""
+
+        def throughput(system, bandwidth):
+            profile = small_profile()
+            profile.egress_bandwidth = bandwidth
+            result = run_experiment(
+                RunSpec(
+                    system=system,
+                    clients=60,
+                    duration=0.8,
+                    warmup=0.25,
+                    seed=1,
+                    profile=profile,
+                )
+            )
+            return result.throughput
+
+        paxos_free = throughput("paxos", None)
+        paxos_tight = throughput("paxos", 40e6)
+        idem_free = throughput("idem", None)
+        idem_tight = throughput("idem", 40e6)
+        paxos_loss = 1.0 - paxos_tight / paxos_free
+        idem_loss = 1.0 - idem_tight / idem_free
+        assert paxos_loss > 0.2
+        assert idem_loss < paxos_loss / 2

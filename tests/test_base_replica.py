@@ -1,0 +1,286 @@
+"""White-box tests of the shared replica machinery (protocols.base).
+
+These instantiate a single IDEM replica on a quiet network and drive it
+with hand-crafted messages, pinning down edge cases the integration
+suite only exercises incidentally.
+"""
+
+import pytest
+
+from repro.app.commands import Command, KvOp
+from repro.app.kvstore import KeyValueStore
+from repro.core.config import IdemConfig
+from repro.core.replica import IdemReplica
+from repro.net.addresses import client_address, replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network, NetworkNode
+from repro.protocols.messages import (
+    Commit,
+    Decided,
+    NewView,
+    NewViewAck,
+    ProposalRequest,
+    Propose,
+    Reply,
+    Request,
+    ViewChange,
+    WindowEntry,
+)
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+
+class Recorder(NetworkNode):
+    """A network endpoint that just records what it receives."""
+
+    def __init__(self, address, loop):
+        self.address = address
+        self.loop = loop
+        self.messages = []
+
+    def deliver(self, src, message):
+        self.messages.append((src, message))
+
+    def of_type(self, message_type):
+        return [m for _, m in self.messages if isinstance(m, message_type)]
+
+
+def make_replica(index=1, config=None):
+    """One real replica (index 1) surrounded by recorders."""
+    loop = EventLoop()
+    rng = RngRegistry(7)
+    network = Network(loop, rng, latency_model=ConstantLatency(1e-5))
+    config = config or IdemConfig(cpu_jitter_sigma=0.0)
+    replica = IdemReplica(index, loop, network, config, KeyValueStore(), rng)
+    network.attach(replica)
+    peers = {}
+    for i in range(config.n):
+        if i != index:
+            peers[i] = Recorder(replica_address(i), loop)
+            network.attach(peers[i])
+    client = Recorder(client_address(0), loop)
+    network.attach(client)
+    return loop, replica, peers, client
+
+
+def request(onr=1, cid=0):
+    return Request((cid, onr), Command(KvOp.UPDATE, "key", 10))
+
+
+def settle(loop, seconds=0.01):
+    loop.run_until(loop.now + seconds)
+
+
+class TestRequestPath:
+    def test_accept_occupies_a_slot_and_requires(self):
+        loop, replica, peers, client = make_replica()
+        replica.deliver(client.address, request())
+        settle(loop)
+        assert replica.active_count == 1
+        # REQUIRE went to the leader of view 0 (replica 0).
+        requires = peers[0].of_type(type(None)) or peers[0].messages
+        assert any(
+            type(m).__name__ == "RequireBatch" for _, m in peers[0].messages
+        )
+
+    def test_leader_counts_its_own_acceptance(self):
+        loop, replica, peers, client = make_replica(index=0)  # leader of view 0
+        replica.deliver(client.address, request())
+        settle(loop)
+        assert ((0, 1) in replica.require_counts) or ((0, 1) in replica.proposed_rids)
+
+    def test_old_operation_number_is_ignored_after_execution(self):
+        loop, replica, peers, client = make_replica()
+        replica.executed_onr[0] = 5
+        replica.deliver(client.address, request(onr=3))
+        settle(loop)
+        assert replica.active_count == 0
+
+    def test_executed_duplicate_resends_cached_reply(self):
+        loop, replica, peers, client = make_replica()
+        replica.executed_onr[0] = 1
+        replica.last_reply[0] = Reply((0, 1), True, 1, 0)
+        replica.deliver(client.address, request(onr=1))
+        settle(loop)
+        assert client.of_type(Reply)
+
+
+class TestCommitPath:
+    def test_propose_from_leader_commits_on_fast_path(self):
+        """f+1 = propose + own commit: a follower executes immediately."""
+        loop, replica, peers, client = make_replica()
+        replica.deliver(client.address, request())
+        settle(loop)
+        replica.deliver(replica_address(0), Propose(0, 1, ((0, 1),)))
+        settle(loop)
+        assert replica.exec_sqn == 1
+        assert replica.active_count == 0  # slot freed on execution
+
+    def test_commit_before_propose_is_buffered(self):
+        loop, replica, peers, client = make_replica()
+        replica.deliver(client.address, request())
+        replica.deliver(replica_address(2), Commit(0, 1))
+        settle(loop)
+        assert replica.exec_sqn == 0  # nothing executed yet
+        replica.deliver(replica_address(0), Propose(0, 1, ((0, 1),)))
+        settle(loop)
+        assert replica.exec_sqn == 1
+
+    def test_stale_view_proposal_is_ignored(self):
+        loop, replica, peers, client = make_replica()
+        replica.view = 3
+        replica.deliver(replica_address(0), Propose(0, 1, ((0, 1),)))
+        settle(loop)
+        assert 1 not in replica.instances
+
+    def test_higher_view_proposal_adopts_the_view(self):
+        loop, replica, peers, client = make_replica()
+        replica.deliver(client.address, request())
+        settle(loop)
+        replica.deliver(replica_address(0), Propose(3, 1, ((0, 1),)))
+        settle(loop)
+        assert replica.view == 3
+        assert replica.exec_sqn == 1
+
+    def test_out_of_order_instances_execute_in_order(self):
+        loop, replica, peers, client = make_replica()
+        replica.deliver(client.address, request(onr=1))
+        replica.deliver(client.address, request(onr=2, cid=1))
+        settle(loop)
+        replica.deliver(replica_address(0), Propose(0, 2, ((1, 2),)))
+        settle(loop)
+        assert replica.exec_sqn == 0  # gap at sqn 1
+        replica.deliver(replica_address(0), Propose(0, 1, ((0, 1),)))
+        settle(loop)
+        assert replica.exec_sqn == 2
+        assert replica.exec_order_digest == hash((hash((0, (0, 1))), (1, 2)))
+
+
+class TestDecidedPath:
+    def test_decided_is_adopted_regardless_of_view(self):
+        loop, replica, peers, client = make_replica()
+        replica.view = 9
+        replica.deliver(client.address, request())
+        settle(loop)
+        replica.deliver(replica_address(2), Decided(1, ((0, 1),)))
+        settle(loop)
+        assert replica.exec_sqn == 1
+
+    def test_decided_below_execution_head_is_ignored(self):
+        loop, replica, peers, client = make_replica()
+        replica.exec_sqn = 5
+        replica.deliver(replica_address(2), Decided(3, ((0, 1),)))
+        settle(loop)
+        assert 3 not in replica.instances
+
+    def test_proposal_request_for_executed_instance_yields_decided(self):
+        loop, replica, peers, client = make_replica()
+        replica.deliver(client.address, request())
+        settle(loop)
+        replica.deliver(replica_address(0), Propose(0, 1, ((0, 1),)))
+        settle(loop)
+        assert replica.exec_sqn == 1
+        replica.deliver(replica_address(2), ProposalRequest(1))
+        settle(loop)
+        assert peers[2].of_type(Decided)
+
+    def test_proposal_request_for_live_instance_resends_the_proposal(self):
+        from repro.protocols.messages import RequireBatch
+
+        loop, replica, peers, client = make_replica(index=0)
+        replica.deliver(client.address, request())
+        settle(loop)
+        # A follower's REQUIRE completes the quorum: the leader proposes
+        # but cannot commit alone (needs one COMMIT back).
+        replica.deliver(replica_address(1), RequireBatch(((0, 1),)))
+        settle(loop)
+        assert 1 in replica.instances
+        assert replica.exec_sqn == 0
+        peers[2].messages.clear()
+        replica.deliver(replica_address(2), ProposalRequest(1))
+        settle(loop)
+        assert peers[2].of_type(Propose)
+
+
+class TestViewChangePath:
+    def test_viewchange_from_one_peer_makes_us_join(self):
+        # Use index 2 so the replica is NOT the leader of the target
+        # view; otherwise joining immediately activates the view.
+        loop, replica, peers, client = make_replica(index=2)
+        replica.deliver(client.address, request())
+        settle(loop)
+        replica.deliver(replica_address(0), ViewChange(1, ()))
+        settle(loop)
+        assert replica._vc_target == 1
+        # Our own VIEWCHANGE went out to the peers.
+        assert peers[0].of_type(ViewChange)
+
+    def test_new_leader_activates_with_quorum(self):
+        loop, replica, peers, client = make_replica(index=1)
+        replica.deliver(client.address, request())
+        settle(loop)
+        # Replica 1 leads view 1; peers demand it.
+        entry = WindowEntry(1, 0, ((0, 1),))
+        replica.deliver(replica_address(2), ViewChange(1, (entry,)))
+        settle(loop)
+        assert replica.view == 1
+        assert replica.is_leader
+        assert peers[0].of_type(NewView)
+        # The merged entry was installed; it commits once a follower
+        # acknowledges the new view.
+        assert 1 in replica.instances
+        assert replica.exec_sqn == 0
+        replica.deliver(replica_address(0), NewViewAck(1, (1,)))
+        settle(loop)
+        assert replica.exec_sqn == 1
+
+    def test_follower_installs_newview_and_acks(self):
+        loop, replica, peers, client = make_replica(index=2)
+        replica.deliver(client.address, request())
+        settle(loop)
+        entry = WindowEntry(1, 1, ((0, 1),))
+        replica.deliver(replica_address(1), NewView(1, (entry,), 2))
+        settle(loop)
+        assert replica.view == 1
+        assert peers[0].of_type(NewViewAck)
+        assert replica.exec_sqn == 1  # commits: leader + self = quorum
+
+    def test_newview_from_wrong_leader_is_ignored(self):
+        loop, replica, peers, client = make_replica(index=2)
+        entry = WindowEntry(1, 1, ((0, 1),))
+        replica.deliver(replica_address(0), NewView(1, (entry,), 2))  # 0 != 1 % 3
+        settle(loop)
+        assert replica.view == 0
+
+    def test_progress_timeout_starts_a_view_change(self):
+        config = IdemConfig(view_change_timeout=0.05, cpu_jitter_sigma=0.0)
+        loop, replica, peers, client = make_replica(config=config)
+        replica.deliver(client.address, request())
+        loop.run_until(0.2)  # leader (recorder) never answers
+        assert replica._vc_target is not None
+        assert peers[0].of_type(ViewChange)
+
+    def test_idle_replica_never_suspects_anyone(self):
+        config = IdemConfig(view_change_timeout=0.05, cpu_jitter_sigma=0.0)
+        loop, replica, peers, client = make_replica(config=config)
+        loop.run_until(0.5)
+        assert replica.view == 0
+        assert not peers[0].of_type(ViewChange)
+
+
+class TestWindowInvariants:
+    def test_window_never_passes_execution_head(self):
+        loop, replica, peers, client = make_replica()
+        # Observe a far-future commit; window start must stay behind
+        # our execution head even though the observation is far ahead.
+        replica.deliver(replica_address(0), Commit(0, 500))
+        settle(loop)
+        assert replica.window_start <= replica.exec_sqn + 1
+
+    def test_crash_stops_everything(self):
+        loop, replica, peers, client = make_replica()
+        replica.crash()
+        replica.deliver(client.address, request())
+        settle(loop)
+        assert replica.active_count == 0
+        assert not peers[0].messages

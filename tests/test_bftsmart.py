@@ -1,0 +1,77 @@
+"""Integration tests for the BFT-SMaRt-like baseline."""
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.faults import FaultSchedule
+
+from tests.conftest import (
+    assert_replicas_consistent,
+    live_replicas,
+    run_cluster,
+    small_profile,
+    total_successes,
+)
+
+
+class TestNormalOperation:
+    def test_operations_complete(self):
+        cluster = run_cluster("bftsmart", clients=3, duration=0.5)
+        assert total_successes(cluster) > 100
+
+    def test_replicas_stay_consistent(self):
+        cluster = run_cluster("bftsmart", clients=5, duration=0.5)
+        assert_replicas_consistent(cluster)
+
+    def test_all_replicas_see_all_requests(self):
+        cluster = run_cluster("bftsmart", clients=3, duration=0.5)
+        seen = [replica.stats["requests_seen"] for replica in cluster.replicas]
+        assert min(seen) > 0
+        assert max(seen) - min(seen) <= max(seen) * 0.05
+
+    def test_every_replica_replies(self):
+        cluster = run_cluster("bftsmart", clients=3, duration=0.5)
+        assert all(replica.stats["replies_sent"] > 0 for replica in cluster.replicas)
+
+    def test_duplicate_replies_do_not_double_count(self):
+        cluster = run_cluster("bftsmart", clients=3, duration=0.5)
+        total_replies = sum(r.stats["replies_sent"] for r in cluster.replicas)
+        successes = total_successes(cluster)
+        # n replies per operation on the wire, exactly one success each.
+        assert total_replies >= 2 * successes
+        for client in cluster.clients:
+            assert client.successes < client.onr + 1
+
+    def test_request_pool_drains(self):
+        cluster = run_cluster("bftsmart", clients=5, duration=0.5)
+        assert all(not replica.pool for replica in cluster.replicas)
+
+
+class TestCrashes:
+    def test_follower_crash_is_harmless(self):
+        cluster = build_cluster(
+            "bftsmart", 4, seed=1, profile=small_profile(), stop_time=2.0
+        )
+        FaultSchedule().crash_follower(0.5).install(cluster)
+        cluster.run_until(2.0)
+        cluster.stop_clients()
+        cluster.run_until(3.0)
+        survivors = live_replicas(cluster)
+        assert all(replica.view == 0 for replica in survivors)
+        assert cluster.metrics.reply_counter.rate_between(1.0, 2.0) > 0
+
+    def test_leader_crash_recovers_via_view_change(self):
+        cluster = build_cluster(
+            "bftsmart",
+            4,
+            seed=1,
+            profile=small_profile(),
+            overrides={"view_change_timeout": 0.4},
+            stop_time=3.5,
+        )
+        FaultSchedule().crash_leader(0.5).install(cluster)
+        cluster.run_until(3.5)
+        cluster.stop_clients()
+        cluster.run_until(4.5)
+        survivors = live_replicas(cluster)
+        assert all(replica.view >= 1 for replica in survivors)
+        assert len({r.app.digest() for r in survivors}) == 1
+        assert cluster.metrics.reply_counter.rate_between(2.5, 3.5) > 0

@@ -1,0 +1,56 @@
+"""Tests for the plain-text plotting helpers."""
+
+from repro.experiments.charts import scatter, sparkline, timeline_sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_series_uses_increasing_levels(self):
+        line = sparkline([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert len(line) == 5
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert list(line) == sorted(line)
+
+    def test_all_zero_series(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "▁▁▁"
+
+    def test_explicit_maximum_caps_levels(self):
+        line = sparkline([5.0, 10.0], maximum=20.0)
+        assert line[1] != "█"
+
+    def test_values_above_maximum_are_clamped(self):
+        assert sparkline([100.0], maximum=1.0) == "█"
+
+
+class TestTimelineSparkline:
+    def test_resamples_to_requested_width(self):
+        series = [(i * 0.1, float(i)) for i in range(100)]
+        line = timeline_sparkline(series, 0.0, 10.0, buckets=20)
+        assert len(line) == 20
+
+    def test_gap_renders_as_floor(self):
+        series = [(0.5, 10.0), (9.5, 10.0)]  # nothing in between
+        line = timeline_sparkline(series, 0.0, 10.0, buckets=10)
+        assert line[5] == "▁"
+        assert line[0] != "▁"
+
+    def test_empty_or_degenerate(self):
+        assert timeline_sparkline([], 0.0, 1.0) == ""
+        assert timeline_sparkline([(0.5, 1.0)], 1.0, 1.0) == ""
+
+
+class TestScatter:
+    def test_renders_axes_and_points(self):
+        text = scatter([(1.0, 2.0), (3.0, 4.0)], width=20, height=5)
+        assert "o" in text
+        assert "1" in text and "3" in text  # x range in the footer
+
+    def test_no_data(self):
+        assert scatter([]) == "(no data)"
+
+    def test_single_point(self):
+        text = scatter([(1.0, 1.0)], width=10, height=3)
+        assert text.count("o") == 1

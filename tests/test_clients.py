@@ -1,0 +1,159 @@
+"""Focused tests for client-side behaviour (Section 5.3 semantics)."""
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.metrics import MetricsCollector
+from repro.core.client import IdemClient
+from repro.core.config import IdemConfig
+from repro.net.addresses import replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.protocols.messages import Reject, Reply
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+from repro.workload.ycsb import YcsbWorkload
+
+from tests.conftest import run_cluster, small_profile
+
+
+def make_client(optimistic: bool = True):
+    """A lone IDEM client on a network with no replicas attached.
+
+    Requests go nowhere, so tests drive the client by injecting replica
+    responses directly through ``deliver``.
+    """
+    loop = EventLoop()
+    rng = RngRegistry(1)
+    network = Network(loop, rng, latency_model=ConstantLatency(1e-4))
+    config = IdemConfig(optimistic_client=optimistic)
+    metrics = MetricsCollector()
+    client = IdemClient(
+        0, loop, network, config, metrics, YcsbWorkload(), rng
+    )
+    network.attach(client)
+    client.start(at=0.0)
+    loop.run_until(0.001)  # the first request is now in flight
+    assert client.current_rid is not None
+    return loop, config, metrics, client
+
+
+def test_reply_completes_the_operation():
+    loop, config, metrics, client = make_client()
+    rid = client.current_rid
+    client.deliver(replica_address(0), Reply(rid, True, 1, 0))
+    assert client.successes == 1
+    assert client.current_rid is None
+
+
+def test_stale_reply_is_ignored():
+    loop, config, metrics, client = make_client()
+    client.deliver(replica_address(0), Reply((0, 999), True, 1, 0))
+    assert client.successes == 0
+    assert client.current_rid is not None
+
+
+def test_n_rejects_is_immediate_failure():
+    loop, config, metrics, client = make_client()
+    rid = client.current_rid
+    for index in range(3):
+        client.deliver(replica_address(index), Reject(rid))
+    assert client.rejections == 1
+    assert client.failure_aborts == 1
+    assert client.ambivalent_aborts == 0
+
+
+def test_optimistic_client_waits_the_grace_period():
+    loop, config, metrics, client = make_client(optimistic=True)
+    rid = client.current_rid
+    client.deliver(replica_address(0), Reject(rid))
+    client.deliver(replica_address(1), Reject(rid))
+    # n - f = 2 rejects: ambivalence, but not aborted yet.
+    assert client.rejections == 0
+    loop.run_until(loop.now + config.optimistic_grace + 1e-4)
+    assert client.rejections == 1
+    assert client.ambivalent_aborts == 1
+
+
+def test_optimistic_client_accepts_late_reply_during_grace():
+    loop, config, metrics, client = make_client(optimistic=True)
+    rid = client.current_rid
+    client.deliver(replica_address(0), Reject(rid))
+    client.deliver(replica_address(1), Reject(rid))
+    client.deliver(replica_address(2), Reply(rid, True, 1, 0))
+    assert client.successes == 1
+    assert client.rejections == 0
+    # The grace timer must not fire afterwards.
+    loop.run_until(loop.now + 1.0)
+    assert client.rejections == 0
+
+
+def test_pessimistic_client_aborts_at_ambivalence():
+    loop, config, metrics, client = make_client(optimistic=False)
+    rid = client.current_rid
+    client.deliver(replica_address(0), Reject(rid))
+    assert client.rejections == 0
+    client.deliver(replica_address(1), Reject(rid))
+    assert client.rejections == 1
+    assert client.ambivalent_aborts == 1
+
+
+def test_duplicate_rejects_from_one_replica_do_not_abort():
+    loop, config, metrics, client = make_client(optimistic=False)
+    rid = client.current_rid
+    client.deliver(replica_address(0), Reject(rid))
+    client.deliver(replica_address(0), Reject(rid))
+    assert client.rejections == 0
+
+
+def test_backoff_after_rejection_is_within_the_configured_range():
+    loop, config, metrics, client = make_client()
+    rid = client.current_rid
+    abort_time = loop.now
+    for index in range(3):
+        client.deliver(replica_address(index), Reject(rid))
+    onr_before = client.onr
+    # The next operation must start within [min, max] backoff.
+    loop.run_until(abort_time + config.reject_backoff_min - 1e-6)
+    assert client.onr == onr_before
+    loop.run_until(abort_time + config.reject_backoff_max + 1e-6)
+    assert client.onr == onr_before + 1
+
+
+def test_fallback_invoked_on_rejection():
+    calls = []
+    loop = EventLoop()
+    rng = RngRegistry(1)
+    network = Network(loop, rng, latency_model=ConstantLatency(1e-4))
+    config = IdemConfig()
+    client = IdemClient(
+        0, loop, network, config, MetricsCollector(), YcsbWorkload(), rng,
+        fallback=calls.append,
+    )
+    network.attach(client)
+    client.start(at=0.0)
+    loop.run_until(0.001)
+    rid = client.current_rid
+    for index in range(3):
+        client.deliver(replica_address(index), Reject(rid))
+    assert len(calls) == 1
+    assert calls[0] is not None  # the command the fallback must handle
+
+
+def test_request_timeout_gives_up_and_moves_on():
+    loop, config, metrics, client = make_client()
+    loop.run_until(config.request_timeout + 0.01)
+    assert client.timeouts >= 1
+    assert metrics.timeouts >= 1
+
+
+def test_retransmission_fires_until_an_outcome():
+    loop, config, metrics, client = make_client()
+    sent = []
+    client._send_request = lambda request: sent.append(loop.now)  # type: ignore
+    loop.run_until(config.retransmit_interval * 2.5)
+    assert len(sent) >= 2
+
+
+def test_operation_numbers_increase_monotonically():
+    cluster = run_cluster("idem", clients=2, duration=0.3, profile=small_profile())
+    for client in cluster.clients:
+        assert client.onr == client.successes  # all ops completed, in order

@@ -1,0 +1,66 @@
+"""Unit tests for protocol configurations and their validation."""
+
+import pytest
+
+from repro.core.config import IdemConfig
+from repro.protocols.config import ProtocolConfig
+from repro.protocols.paxos.config import PaxosConfig
+
+
+class TestProtocolConfig:
+    def test_defaults_are_consistent(self):
+        config = ProtocolConfig()
+        assert config.n == 2 * config.f + 1
+        assert config.quorum == config.f + 1
+
+    def test_rejects_wrong_group_size(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(n=4, f=1)
+
+    def test_five_replica_group(self):
+        config = ProtocolConfig(n=5, f=2)
+        assert config.quorum == 3
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(batch_max=0)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            ProtocolConfig(window_size=0)
+
+
+class TestIdemConfig:
+    def test_defaults_match_the_paper(self):
+        config = IdemConfig()
+        assert config.reject_threshold == 50  # RT = 50 (Section 7.1)
+        assert config.aqm_time_slice == 2.0
+        assert config.forward_timeout == 0.010
+        assert config.optimistic_grace == 0.005
+        assert config.acceptance == "aqm"
+        assert config.optimistic_client
+
+    def test_r_max(self):
+        config = IdemConfig(reject_threshold=50)
+        assert config.r_max == 150
+
+    def test_window_must_cover_r_max(self):
+        with pytest.raises(ValueError):
+            IdemConfig(reject_threshold=500, window_size=512)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            IdemConfig(reject_threshold=0)
+
+    def test_rejects_bad_aqm_fraction(self):
+        with pytest.raises(ValueError):
+            IdemConfig(aqm_start_fraction=1.5)
+
+
+class TestPaxosConfig:
+    def test_lbr_disabled_by_default(self):
+        assert not PaxosConfig().leader_rejection
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            PaxosConfig(reject_threshold=0)

@@ -1,0 +1,76 @@
+"""Tests for experiment-layer helpers (fairness index, CLI plumbing)."""
+
+import pytest
+
+from repro.experiments.common import jain_fairness
+
+
+class TestJainFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([10.0, 10.0, 10.0]) == pytest.approx(1.0)
+
+    def test_totally_unfair(self):
+        index = jain_fairness([100.0, 0.0, 0.0, 0.0])
+        assert index == pytest.approx(0.25)
+
+    def test_empty_and_zero(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_bounds(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0]
+        index = jain_fairness(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+    def test_more_even_is_fairer(self):
+        assert jain_fairness([5.0, 5.0, 6.0]) > jain_fairness([1.0, 5.0, 10.0])
+
+
+class TestCliRun:
+    def test_running_a_single_experiment_prints_its_report(self, capsys, monkeypatch):
+        """The CLI executes an experiment module end-to-end (stubbed)."""
+        from repro import cli
+        from repro.experiments import registry
+
+        class FakeModule:
+            __doc__ = "Fake experiment."
+
+            @staticmethod
+            def run(quick=False, seed0=0):
+                return {"quick": quick, "seed": seed0}
+
+            @staticmethod
+            def render(data):
+                return f"FAKE REPORT quick={data['quick']} seed={data['seed']}"
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "fake", FakeModule)
+        assert cli.main(["fake", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FAKE REPORT quick=True seed=3" in out
+        assert "[fake finished" in out
+
+    def test_all_runs_every_registered_experiment(self, capsys, monkeypatch):
+        from repro import cli
+        from repro.experiments import registry
+
+        ran = []
+
+        class Stub:
+            __doc__ = "Stub."
+
+            def __init__(self, name):
+                self.name = name
+
+            def run(self, quick=False, seed0=0):
+                ran.append(self.name)
+                return None
+
+            def render(self, data):
+                return f"report {self.name}"
+
+        monkeypatch.setattr(
+            registry, "EXPERIMENTS", {"a": Stub("a"), "b": Stub("b")}
+        )
+        monkeypatch.setattr(cli, "EXPERIMENTS", registry.EXPERIMENTS)
+        assert cli.main(["all"]) == 0
+        assert ran == ["a", "b"]

@@ -1,0 +1,120 @@
+"""Five-replica (f=2) groups — the paper's "f ≤ 2 in data centers".
+
+Everything is parameterised by n = 2f + 1; these tests pin down that the
+protocols, quorums and client semantics actually scale to f = 2.
+"""
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.faults import FaultSchedule
+
+from tests.conftest import live_replicas, small_profile, total_successes
+
+
+def five_profile(**overrides):
+    profile = small_profile(**overrides)
+    profile.n = 5
+    profile.f = 2
+    return profile
+
+
+def run_five(system="idem", clients=5, duration=0.5, faults=None, overrides=None):
+    cluster = build_cluster(
+        system,
+        clients,
+        seed=1,
+        profile=five_profile(),
+        overrides=overrides or {},
+        stop_time=duration,
+    )
+    if faults is not None:
+        faults.install(cluster)
+    cluster.run_until(duration)
+    cluster.stop_clients()
+    cluster.run_until(duration + 1.0)
+    return cluster
+
+
+class TestNormalOperation:
+    def test_cluster_has_five_replicas(self):
+        cluster = run_five()
+        assert len(cluster.replicas) == 5
+        assert cluster.config.quorum == 3
+
+    def test_operations_complete_on_all_protocols(self):
+        for system in ("idem", "paxos", "bftsmart"):
+            cluster = run_five(system)
+            assert total_successes(cluster) > 50, system
+
+    def test_replicas_stay_consistent(self):
+        cluster = run_five(clients=8)
+        assert len({r.exec_order_digest for r in cluster.replicas}) == 1
+        assert len({r.app.digest() for r in cluster.replicas}) == 1
+
+    def test_r_max_scales_with_n(self):
+        cluster = run_five(overrides={"reject_threshold": 20})
+        assert cluster.config.r_max == 100
+
+
+class TestCrashTolerance:
+    def test_two_follower_crashes_are_tolerated(self):
+        faults = FaultSchedule().crash_follower(0.3).crash_follower(0.6)
+        cluster = run_five(clients=5, duration=2.0, faults=faults)
+        assert sum(1 for r in cluster.replicas if r.halted) == 2
+        post = cluster.metrics.reply_counter.rate_between(1.0, 2.0)
+        assert post > 0
+        survivors = live_replicas(cluster)
+        assert len({r.app.digest() for r in survivors}) == 1
+
+    def test_leader_plus_follower_crash(self):
+        faults = FaultSchedule().crash_leader(0.3).crash_follower(1.5)
+        cluster = run_five(
+            clients=5,
+            duration=3.0,
+            faults=faults,
+            overrides={"view_change_timeout": 0.4},
+        )
+        survivors = live_replicas(cluster)
+        assert len(survivors) == 3
+        assert all(r.view >= 1 for r in survivors)
+        assert cluster.metrics.reply_counter.rate_between(2.0, 3.0) > 0
+        assert len({r.app.digest() for r in survivors}) == 1
+
+
+class TestRejectionSemantics:
+    def test_failure_needs_five_rejects(self):
+        """With n=5, f=2: ambivalence at 3 rejections, failure at 5."""
+        from repro.cluster.metrics import MetricsCollector
+        from repro.core.client import IdemClient
+        from repro.core.config import IdemConfig
+        from repro.net.addresses import replica_address
+        from repro.net.latency import ConstantLatency
+        from repro.net.network import Network
+        from repro.protocols.messages import Reject
+        from repro.sim.loop import EventLoop
+        from repro.sim.rng import RngRegistry
+        from repro.workload.ycsb import YcsbWorkload
+
+        loop = EventLoop()
+        rng = RngRegistry(1)
+        network = Network(loop, rng, latency_model=ConstantLatency(1e-4))
+        config = IdemConfig(n=5, f=2, optimistic_client=False)
+        client = IdemClient(
+            0, loop, network, config, MetricsCollector(), YcsbWorkload(), rng
+        )
+        network.attach(client)
+        client.start(at=0.0)
+        loop.run_until(0.001)
+        rid = client.current_rid
+        client.deliver(replica_address(0), Reject(rid))
+        client.deliver(replica_address(1), Reject(rid))
+        assert client.rejections == 0  # two rejects: not ambivalent yet
+        client.deliver(replica_address(2), Reject(rid))
+        assert client.rejections == 1  # n - f = 3: pessimistic abort
+        assert client.ambivalent_aborts == 1
+
+    def test_overload_rejection_works_at_n5(self):
+        cluster = run_five(
+            clients=25, duration=0.6, overrides={"reject_threshold": 2}
+        )
+        assert sum(r.stats["rejected"] for r in cluster.replicas) > 0
+        assert sum(c.rejections for c in cluster.clients) > 0

@@ -1,0 +1,138 @@
+"""White-box tests of IDEM's forwarding mechanism (Section 5.2)."""
+
+from repro.app.commands import Command, KvOp
+from repro.app.kvstore import KeyValueStore
+from repro.core.config import IdemConfig
+from repro.core.replica import IdemReplica
+from repro.net.addresses import client_address, replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network
+from repro.protocols.messages import Fetch, Forward, Propose, Request
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+from tests.test_base_replica import Recorder
+
+
+def make_replica(index=1, **config_kwargs):
+    config_kwargs.setdefault("cpu_jitter_sigma", 0.0)
+    loop = EventLoop()
+    rng = RngRegistry(5)
+    network = Network(loop, rng, latency_model=ConstantLatency(1e-5))
+    config = IdemConfig(**config_kwargs)
+    replica = IdemReplica(index, loop, network, config, KeyValueStore(), rng)
+    network.attach(replica)
+    peers = {
+        i: Recorder(replica_address(i), loop)
+        for i in range(config.n)
+        if i != index
+    }
+    for recorder in peers.values():
+        network.attach(recorder)
+    client = Recorder(client_address(0), loop)
+    network.attach(client)
+    return loop, replica, peers, client
+
+
+def request(onr=1, cid=0):
+    return Request((cid, onr), Command(KvOp.UPDATE, "k", 10))
+
+
+class TestDelayedForwarding:
+    def test_unexecuted_request_is_forwarded_after_the_timeout(self):
+        loop, replica, peers, client = make_replica(forward_timeout=0.01)
+        replica.deliver(client.address, request())
+        loop.run_until(0.03)  # leader (a recorder) never proposes
+        forwards = peers[0].of_type(Forward)
+        assert forwards
+        assert forwards[0].request.rid == (0, 1)
+
+    def test_each_request_is_forwarded_once(self):
+        loop, replica, peers, client = make_replica(forward_timeout=0.01)
+        replica.deliver(client.address, request())
+        loop.run_until(0.2)
+        assert len(peers[0].of_type(Forward)) == 1
+        assert replica.stats["forwards"] == 1
+
+    def test_executed_request_is_never_forwarded(self):
+        loop, replica, peers, client = make_replica(forward_timeout=0.01)
+        replica.deliver(client.address, request())
+        replica.deliver(replica_address(0), Propose(0, 1, ((0, 1),)))
+        loop.run_until(0.05)
+        assert not peers[0].of_type(Forward)
+        assert replica.stats["forwards"] == 0
+
+
+class TestRejectedCache:
+    def full_replica(self):
+        """A replica with zero slots: every client request is rejected."""
+        return make_replica(reject_threshold=1, acceptance="taildrop")
+
+    def test_rejected_body_is_served_from_the_cache_on_fetch(self):
+        loop, replica, peers, client = make_replica()
+        # Force a rejection by filling the only slot.
+        replica.acceptance.threshold = 1  # type: ignore[attr-defined]
+        replica.deliver(client.address, request(onr=1, cid=1))
+        loop.run_until(0.001)
+        replica.deliver(client.address, request(onr=1, cid=2))  # rejected
+        loop.run_until(0.002)
+        assert (2, 1) in replica.rejected_cache
+        peers[2].messages.clear()
+        replica.deliver(replica_address(2), Fetch((2, 1)))
+        loop.run_until(0.003)
+        answers = peers[2].of_type(Forward)
+        assert answers and answers[0].request.rid == (2, 1)
+
+    def test_committed_rejected_request_executes_from_the_cache(self):
+        loop, replica, peers, client = make_replica()
+        replica.acceptance.threshold = 1  # type: ignore[attr-defined]
+        replica.deliver(client.address, request(onr=1, cid=1))
+        loop.run_until(0.001)
+        replica.deliver(client.address, request(onr=1, cid=2))  # rejected
+        loop.run_until(0.002)
+        # The group ordered the rejected request anyway.
+        replica.deliver(replica_address(0), Propose(0, 1, ((2, 1),)))
+        loop.run_until(0.005)
+        assert replica.exec_sqn == 1
+        assert replica.stats["fetches"] == 0  # cache hit, no fetch
+
+    def test_cache_eviction_is_fifo_and_bounded(self):
+        loop, replica, peers, client = make_replica(rejected_cache_size=2)
+        replica.acceptance.threshold = 1  # type: ignore[attr-defined]
+        replica.deliver(client.address, request(onr=1, cid=1))  # occupies slot
+        loop.run_until(0.001)
+        for cid in (2, 3, 4):
+            replica.deliver(client.address, request(onr=1, cid=cid))
+        loop.run_until(0.002)
+        assert len(replica.rejected_cache) == 2
+        assert (2, 1) not in replica.rejected_cache  # evicted first
+        assert (4, 1) in replica.rejected_cache
+
+
+class TestFetching:
+    def test_commit_of_unknown_body_triggers_a_fetch(self):
+        loop, replica, peers, client = make_replica()
+        replica.deliver(replica_address(0), Propose(0, 1, ((9, 1),)))
+        loop.run_until(0.005)
+        assert replica.stats["fetches"] >= 1
+        assert peers[0].of_type(Fetch) or peers[2].of_type(Fetch)
+
+    def test_forwarded_body_completes_the_execution(self):
+        loop, replica, peers, client = make_replica()
+        replica.deliver(replica_address(0), Propose(0, 1, ((9, 1),)))
+        loop.run_until(0.005)
+        assert replica.exec_sqn == 0
+        replica.deliver(replica_address(0), Forward(request(onr=1, cid=9)))
+        loop.run_until(0.01)
+        assert replica.exec_sqn == 1
+
+    def test_forwarded_request_is_accepted_unconditionally(self):
+        loop, replica, peers, client = make_replica(
+            reject_threshold=1, acceptance="taildrop"
+        )
+        replica.deliver(client.address, request(onr=1, cid=1))
+        loop.run_until(0.001)
+        assert replica.active_count == 1  # slot full
+        replica.deliver(replica_address(0), Forward(request(onr=1, cid=2)))
+        loop.run_until(0.002)
+        assert replica.active_count == 2  # beyond the threshold

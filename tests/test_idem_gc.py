@@ -1,0 +1,96 @@
+"""Tests for implicit garbage collection, checkpointing and state transfer."""
+
+from repro.cluster.builder import build_cluster
+from repro.net.addresses import replica_address
+
+from tests.conftest import run_cluster, small_profile
+
+
+class TestImplicitGc:
+    def test_window_advances_with_execution(self):
+        cluster = run_cluster("idem", clients=10, duration=0.8)
+        for replica in cluster.replicas:
+            # Far more than r_max instances were agreed; the window must
+            # have moved (Theorem 6.1).
+            assert replica.next_sqn > cluster.config.r_max
+            assert replica.window_start > 1
+
+    def test_window_start_stays_behind_execution_head(self):
+        cluster = run_cluster("idem", clients=10, duration=0.8)
+        for replica in cluster.replicas:
+            assert replica.window_start <= replica.exec_sqn + 1
+
+    def test_old_instances_are_discarded(self):
+        cluster = run_cluster("idem", clients=10, duration=0.8)
+        for replica in cluster.replicas:
+            assert all(sqn >= replica.window_start for sqn in replica.instances)
+            # The live instance set is bounded by the window contents.
+            assert len(replica.instances) <= cluster.config.window_size
+
+    def test_request_store_is_garbage_collected(self):
+        cluster = run_cluster("idem", clients=10, duration=0.8)
+        for replica in cluster.replicas:
+            executed = replica.stats["executed"]
+            assert executed > len(replica.request_store)
+            # Exactly the requests the retained window references (plus
+            # any still-active slots) may keep their bodies.
+            retained = sum(len(i.rids) for i in replica.instances.values())
+            assert len(replica.request_store) <= retained + len(replica.active)
+
+    def test_proposed_rids_pruned_with_window(self):
+        cluster = run_cluster("idem", clients=10, duration=0.8)
+        leader = cluster.replicas[0]
+        retained = sum(len(i.rids) for i in leader.instances.values())
+        assert len(leader.proposed_rids) <= retained + len(leader._propose_queue)
+
+
+class TestCheckpointing:
+    def test_checkpoint_records_execution_position(self):
+        cluster = run_cluster(
+            "idem", clients=10, duration=0.6, overrides={"checkpoint_interval": 32}
+        )
+        for replica in cluster.replicas:
+            assert replica._checkpoint is not None
+            sqn, snapshot, executed_onr = replica._checkpoint
+            assert sqn % 32 == 0
+            assert isinstance(snapshot, dict)
+            assert executed_onr
+
+    def test_checkpoint_interval_respected(self):
+        cluster = run_cluster(
+            "idem", clients=10, duration=0.6, overrides={"checkpoint_interval": 64}
+        )
+        leader = cluster.replicas[0]
+        expected = leader.exec_sqn // 64
+        assert abs(leader.stats["checkpoints"] - expected) <= 1
+
+
+class TestStateTransfer:
+    def test_isolated_replica_catches_up_via_checkpoint(self):
+        """A replica partitioned away falls beyond the implicit-GC
+        horizon and recovers through a checkpoint transfer."""
+        cluster = build_cluster(
+            "idem",
+            10,
+            seed=1,
+            profile=small_profile(),
+            overrides={"checkpoint_interval": 64, "reject_threshold": 10},
+            stop_time=2.0,
+        )
+        lagging = replica_address(2)
+        for other in (replica_address(0), replica_address(1)):
+            cluster.network.partition(lagging, other)
+        for client in cluster.clients:
+            cluster.network.partition(client.address, lagging)
+        cluster.run_until(1.2)
+        for other in (replica_address(0), replica_address(1)):
+            cluster.network.heal(lagging, other)
+        for client in cluster.clients:
+            cluster.network.heal(client.address, lagging)
+        cluster.run_until(2.0)
+        cluster.stop_clients()
+        cluster.run_until(3.0)
+        lagger = cluster.replicas[2]
+        assert lagger.stats["state_transfers"] >= 1
+        assert lagger.exec_sqn == cluster.replicas[0].exec_sqn
+        assert lagger.app.digest() == cluster.replicas[0].app.digest()

@@ -1,0 +1,199 @@
+"""Integration tests for the IDEM protocol in the normal case."""
+
+import pytest
+
+from repro.net.addresses import client_address, replica_address
+from repro.protocols.messages import Reject, Reply, Request
+
+from tests.conftest import (
+    assert_replicas_consistent,
+    run_cluster,
+    small_profile,
+    total_successes,
+)
+
+
+class TestNormalOperation:
+    def test_operations_complete(self):
+        cluster = run_cluster("idem", clients=3, duration=0.5)
+        assert total_successes(cluster) > 100
+
+    def test_replicas_stay_consistent(self):
+        cluster = run_cluster("idem", clients=5, duration=0.5)
+        assert_replicas_consistent(cluster)
+
+    def test_only_the_leader_sends_replies(self):
+        cluster = run_cluster("idem", clients=2, duration=0.3)
+        # Replica 0 leads view 0; followers cache results (for client
+        # retransmissions) but never actively answer clients.
+        leader, *followers = cluster.replicas
+        assert leader.stats["replies_sent"] > 0
+        assert all(follower.stats["replies_sent"] == 0 for follower in followers)
+        assert all(follower.last_reply for follower in followers)
+
+    def test_every_replica_executes_every_request(self):
+        cluster = run_cluster("idem", clients=3, duration=0.5)
+        executed = {replica.stats["executed"] for replica in cluster.replicas}
+        assert len(executed) == 1
+        assert executed.pop() == total_successes(cluster)
+
+    def test_no_rejections_below_threshold(self):
+        cluster = run_cluster("idem", clients=5, duration=0.5)
+        assert all(replica.stats["rejected"] == 0 for replica in cluster.replicas)
+        assert all(client.rejections == 0 for client in cluster.clients)
+
+    def test_client_latency_is_sane(self):
+        cluster = run_cluster("idem", clients=3, duration=0.5)
+        summary = cluster.metrics.latency_summary()
+        assert 0.0002 < summary.mean < 0.01
+
+    def test_active_slots_drain_after_quiescence(self):
+        cluster = run_cluster("idem", clients=5, duration=0.5)
+        assert all(not replica.active for replica in cluster.replicas)
+
+    def test_no_forwards_or_fetches_in_the_good_case(self):
+        cluster = run_cluster("idem", clients=3, duration=0.5)
+        assert all(replica.stats["forwards"] == 0 for replica in cluster.replicas)
+        assert all(replica.stats["fetches"] == 0 for replica in cluster.replicas)
+
+    def test_checkpoints_are_taken(self):
+        cluster = run_cluster(
+            "idem", clients=10, duration=0.8, overrides={"checkpoint_interval": 16}
+        )
+        assert all(replica.stats["checkpoints"] > 0 for replica in cluster.replicas)
+
+
+class TestDuplicateSuppression:
+    def test_duplicate_request_is_not_executed_twice(self):
+        cluster = run_cluster("idem", clients=1, duration=0.3)
+        leader = cluster.replicas[0]
+        client = cluster.clients[0]
+        executed_before = leader.stats["executed"]
+        # Replay the client's first (long-executed) request everywhere.
+        for replica in cluster.replicas:
+            replica.deliver(client.address, Request((client.cid, 1), _any_command()))
+        cluster.run_until(cluster.loop.now + 0.2)
+        assert leader.stats["executed"] == executed_before
+
+    def test_duplicate_triggers_reply_resend(self):
+        cluster = run_cluster("idem", clients=1, duration=0.3)
+        leader = cluster.replicas[0]
+        client = cluster.clients[0]
+        successes = client.successes
+        cached = leader.last_reply[client.cid]
+        # Pretend the client never saw the reply and retransmits.
+        client.current_rid = cached.rid
+        client.current_command = _any_command()
+        leader.deliver(client.address, Request(cached.rid, _any_command()))
+        cluster.run_until(cluster.loop.now + 0.2)
+        assert client.successes == successes + 1
+
+
+def _any_command():
+    from repro.app.commands import Command, KvOp
+
+    return Command(KvOp.UPDATE, "user00000001", 10)
+
+
+class TestRejection:
+    def test_overload_produces_rejections(self):
+        cluster = run_cluster(
+            "idem", clients=20, duration=0.6, overrides={"reject_threshold": 2}
+        )
+        assert sum(replica.stats["rejected"] for replica in cluster.replicas) > 0
+        assert sum(client.rejections for client in cluster.clients) > 0
+
+    def test_rejected_clients_still_make_progress(self):
+        """Theorem 6.4: every client keeps reaching the success state."""
+        cluster = run_cluster(
+            "idem", clients=12, duration=1.5, overrides={"reject_threshold": 3}
+        )
+        assert all(client.successes > 0 for client in cluster.clients)
+
+    def test_outcome_accounting_is_complete(self):
+        cluster = run_cluster(
+            "idem", clients=10, duration=0.8, overrides={"reject_threshold": 2}
+        )
+        for client in cluster.clients:
+            finished = client.successes + client.rejections + client.timeouts
+            assert client.onr - finished <= 1  # at most the in-flight op
+
+    def test_rejection_keeps_active_requests_bounded(self):
+        threshold = 3
+        cluster = run_cluster(
+            "idem",
+            clients=20,
+            duration=0.6,
+            drain=0.0,
+            overrides={"reject_threshold": threshold, "acceptance": "taildrop"},
+        )
+        # Client-admitted requests are bounded by the threshold; only
+        # forwarded requests may exceed it (Section 4.3).
+        for replica in cluster.replicas:
+            assert len(replica.active) <= threshold + cluster.config.n * threshold
+
+    def test_reject_abort_classification(self):
+        cluster = run_cluster(
+            "idem", clients=15, duration=0.8, overrides={"reject_threshold": 2}
+        )
+        for client in cluster.clients:
+            assert client.failure_aborts + client.ambivalent_aborts == client.rejections
+
+    def test_pessimistic_client_aborts_faster(self):
+        slow = run_cluster(
+            "idem", clients=15, duration=0.8, overrides={"reject_threshold": 2}
+        )
+        fast = run_cluster(
+            "idem-pessimistic",
+            clients=15,
+            duration=0.8,
+            overrides={"reject_threshold": 2},
+        )
+        slow_lat = slow.metrics.reject_latency_summary()
+        fast_lat = fast.metrics.reject_latency_summary()
+        assert fast_lat.count > 0 and slow_lat.count > 0
+        assert fast_lat.mean < slow_lat.mean
+
+    def test_nopr_never_rejects(self):
+        cluster = run_cluster(
+            "idem-nopr", clients=20, duration=0.6, overrides={"reject_threshold": 2}
+        )
+        assert sum(replica.stats["rejected"] for replica in cluster.replicas) == 0
+
+
+class TestForwardingLiveness:
+    def test_request_accepted_by_one_replica_still_executes(self):
+        """Property 5.1: acceptance by one correct replica suffices."""
+        from repro.cluster.builder import build_cluster
+
+        cluster = build_cluster(
+            "idem", 1, seed=1, profile=small_profile(), stop_time=0.4
+        )
+        client = cluster.clients[0]
+        # The client can only reach replica 0; replicas talk freely.
+        cluster.network.partition(client.address, replica_address(1))
+        cluster.network.partition(client.address, replica_address(2))
+        cluster.run_until(0.4)
+        cluster.stop_clients()
+        cluster.run_until(1.0)
+        assert client.successes > 0
+        assert cluster.replicas[0].stats["forwards"] > 0
+        # All replicas executed the forwarded requests.
+        assert len({r.exec_order_digest for r in cluster.replicas}) == 1
+
+    def test_fetch_recovers_missing_bodies(self):
+        """A replica that never saw a request fetches it on commit."""
+        from repro.cluster.builder import build_cluster
+
+        cluster = build_cluster(
+            "idem", 2, seed=1, profile=small_profile(), stop_time=0.4
+        )
+        isolated = cluster.replicas[2]
+        for client in cluster.clients:
+            cluster.network.partition(client.address, isolated.address)
+        cluster.run_until(0.4)
+        cluster.stop_clients()
+        cluster.run_until(1.0)
+        assert isolated.stats["fetches"] + isolated.stats["requests_seen"] > 0
+        assert isolated.exec_sqn == cluster.replicas[0].exec_sqn
+        assert isolated.exec_order_digest == cluster.replicas[0].exec_order_digest

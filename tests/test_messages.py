@@ -1,0 +1,118 @@
+"""Unit tests for wire messages and their size model."""
+
+from repro.app.commands import Command, KvOp
+from repro.net.message import HEADER_BYTES
+from repro.protocols.messages import (
+    CheckpointRequest,
+    CheckpointTransfer,
+    Commit,
+    Fetch,
+    Forward,
+    ID_BYTES,
+    NewView,
+    NewViewAck,
+    ProposalRequest,
+    Propose,
+    ProposeFull,
+    Reject,
+    Reply,
+    Request,
+    RequireBatch,
+    SQN_BYTES,
+    VIEW_BYTES,
+    ViewChange,
+    WindowEntry,
+)
+
+
+def make_request(cid: int = 1, onr: int = 1, value_size: int = 100) -> Request:
+    return Request((cid, onr), Command(KvOp.UPDATE, "key", value_size))
+
+
+def test_every_message_includes_the_header():
+    assert Reject((1, 1)).size_bytes() == HEADER_BYTES + ID_BYTES
+
+
+def test_request_size_includes_command_payload():
+    request = make_request(value_size=100)
+    assert request.payload_bytes() == ID_BYTES + 1 + 3 + 100
+
+
+def test_reply_size_scales_with_result():
+    small = Reply((1, 1), True, 1, 0)
+    big = Reply((1, 1), True, 1000, 0)
+    assert big.size_bytes() - small.size_bytes() == 999
+
+
+def test_require_batch_amortises_over_ids():
+    one = RequireBatch(((1, 1),))
+    many = RequireBatch(tuple((cid, 1) for cid in range(10)))
+    assert many.size_bytes() - one.size_bytes() == 9 * ID_BYTES
+
+
+def test_id_propose_is_much_smaller_than_full_propose():
+    rids = tuple((cid, 1) for cid in range(20))
+    requests = tuple(make_request(cid, value_size=1000) for cid in range(20))
+    id_based = Propose(0, 1, rids)
+    full = ProposeFull(0, 1, requests)
+    # This asymmetry is IDEM's design point (Section 4.2).
+    assert full.size_bytes() > 10 * id_based.size_bytes()
+
+
+def test_propose_full_payload_is_cached_and_correct():
+    requests = tuple(make_request(cid) for cid in range(3))
+    full = ProposeFull(0, 1, requests)
+    expected = VIEW_BYTES + SQN_BYTES + sum(r.payload_bytes() for r in requests)
+    assert full.payload_bytes() == expected
+    assert full.payload_bytes() == expected  # second call uses the cache
+
+
+def test_commit_is_small_and_constant():
+    assert Commit(3, 99).payload_bytes() == VIEW_BYTES + SQN_BYTES
+
+
+def test_forward_carries_the_full_request():
+    request = make_request()
+    assert Forward(request).payload_bytes() == request.payload_bytes()
+
+
+def test_fetch_and_proposal_request_sizes():
+    assert Fetch((1, 2)).payload_bytes() == ID_BYTES
+    assert ProposalRequest(5).payload_bytes() == SQN_BYTES
+
+
+def test_window_entry_without_bodies():
+    entry = WindowEntry(1, 0, ((1, 1), (2, 1)))
+    assert entry.payload_bytes() == SQN_BYTES + VIEW_BYTES + 2 * ID_BYTES
+
+
+def test_window_entry_with_bodies_is_larger():
+    rids = ((1, 1),)
+    bare = WindowEntry(1, 0, rids)
+    loaded = WindowEntry(1, 0, rids, (make_request(),))
+    assert loaded.payload_bytes() > bare.payload_bytes()
+
+
+def test_viewchange_size_sums_entries():
+    entries = tuple(WindowEntry(sqn, 0, ((1, 1),)) for sqn in range(3))
+    message = ViewChange(1, entries)
+    assert message.payload_bytes() == VIEW_BYTES + 3 * entries[0].payload_bytes()
+
+
+def test_newview_and_ack_sizes():
+    entries = (WindowEntry(1, 0, ((1, 1),)),)
+    newview = NewView(1, entries, 2)
+    assert newview.payload_bytes() == VIEW_BYTES + SQN_BYTES + entries[0].payload_bytes()
+    ack = NewViewAck(1, (1, 2, 3))
+    assert ack.payload_bytes() == VIEW_BYTES + 3 * SQN_BYTES
+
+
+def test_checkpoint_messages():
+    assert CheckpointRequest(9).payload_bytes() == SQN_BYTES
+    transfer = CheckpointTransfer(9, {"a": 1}, {1: 2}, declared_bytes=500)
+    assert transfer.payload_bytes() == SQN_BYTES + 500 + ID_BYTES
+
+
+def test_type_name_used_for_traffic_breakdown():
+    assert make_request().type_name() == "Request"
+    assert Commit(0, 1).type_name() == "Commit"

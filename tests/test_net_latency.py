@@ -1,0 +1,71 @@
+"""Unit tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net.latency import ConstantLatency, LogNormalLatency, UniformLatency
+
+
+def rng() -> random.Random:
+    return random.Random(42)
+
+
+class TestConstantLatency:
+    def test_sample_is_constant(self):
+        model = ConstantLatency(0.001)
+        r = rng()
+        assert all(model.sample(r) == 0.001 for _ in range(10))
+
+    def test_mean(self):
+        assert ConstantLatency(0.002).mean() == 0.002
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.001)
+
+
+class TestUniformLatency:
+    def test_samples_within_bounds(self):
+        model = UniformLatency(0.001, 0.002)
+        r = rng()
+        for _ in range(100):
+            assert 0.001 <= model.sample(r) <= 0.002
+
+    def test_mean(self):
+        assert UniformLatency(1.0, 3.0).mean() == 2.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(2.0, 1.0)
+
+    def test_rejects_negative_low(self):
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 1.0)
+
+
+class TestLogNormalLatency:
+    def test_samples_above_floor(self):
+        model = LogNormalLatency(median=100e-6, sigma=0.3, floor=20e-6)
+        r = rng()
+        for _ in range(200):
+            assert model.sample(r) > 20e-6
+
+    def test_empirical_median_close_to_parameter(self):
+        model = LogNormalLatency(median=100e-6, sigma=0.3)
+        r = rng()
+        samples = sorted(model.sample(r) for _ in range(4001))
+        median = samples[len(samples) // 2]
+        assert median == pytest.approx(100e-6, rel=0.05)
+
+    def test_empirical_mean_close_to_analytic(self):
+        model = LogNormalLatency(median=100e-6, sigma=0.25)
+        r = rng()
+        samples = [model.sample(r) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(model.mean(), rel=0.03)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(median=1.0, sigma=-0.1)

@@ -1,0 +1,171 @@
+"""Unit tests for the network fabric."""
+
+import pytest
+
+from repro.net.addresses import Address, client_address, replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.message import Message
+from repro.net.network import Network, NetworkNode
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+
+class Probe(Message):
+    __slots__ = ("size",)
+
+    def __init__(self, size: int = 0):
+        self.size = size
+
+    def payload_bytes(self) -> int:
+        return self.size
+
+
+class Sink(NetworkNode):
+    def __init__(self, address: Address, loop: EventLoop):
+        self.address = address
+        self.loop = loop
+        self.received: list[tuple[float, Address, Message]] = []
+
+    def deliver(self, src: Address, message: Message) -> None:
+        self.received.append((self.loop.now, src, message))
+
+
+def make_network(loss: float = 0.0, latency: float = 0.001):
+    loop = EventLoop()
+    network = Network(
+        loop,
+        RngRegistry(1),
+        latency_model=ConstantLatency(latency),
+        loss_probability=loss,
+    )
+    a = Sink(replica_address(0), loop)
+    b = Sink(replica_address(1), loop)
+    network.attach(a)
+    network.attach(b)
+    return loop, network, a, b
+
+
+def test_message_delivered_after_latency():
+    loop, network, a, b = make_network()
+    network.send(a.address, b.address, Probe())
+    loop.run_until(1.0)
+    assert len(b.received) == 1
+    time, src, _ = b.received[0]
+    assert time == pytest.approx(0.001)
+    assert src == a.address
+
+
+def test_multicast_reaches_all_destinations():
+    loop, network, a, b = make_network()
+    c = Sink(replica_address(2), loop)
+    network.attach(c)
+    network.multicast(a.address, [b.address, c.address], Probe())
+    loop.run_until(1.0)
+    assert len(b.received) == 1
+    assert len(c.received) == 1
+
+
+def test_traffic_metering_counts_bytes_and_flows():
+    loop, network, a, b = make_network()
+    client = Sink(client_address(0), loop)
+    network.attach(client)
+    message = Probe(size=80)
+    network.send(client.address, a.address, message)
+    network.send(a.address, b.address, message)
+    loop.run_until(1.0)
+    assert network.traffic.total_messages == 2
+    assert network.traffic.total_bytes == 2 * message.size_bytes()
+    assert network.traffic.client_bytes == message.size_bytes()
+    assert network.traffic.replica_bytes == message.size_bytes()
+
+
+def test_traffic_metered_even_when_lost():
+    loop, network, a, b = make_network(loss=1.0 - 1e-9)
+    # loss_probability must be < 1; use crash instead for certain loss.
+    network.crash(b.address)
+    network.send(a.address, b.address, Probe())
+    loop.run_until(1.0)
+    assert network.traffic.total_messages == 1
+    assert b.received == []
+
+
+def test_crashed_sender_sends_nothing():
+    loop, network, a, b = make_network()
+    network.crash(a.address)
+    network.send(a.address, b.address, Probe())
+    loop.run_until(1.0)
+    assert b.received == []
+    assert network.traffic.total_messages == 0
+
+
+def test_crash_at_delivery_time_drops_in_flight_messages():
+    loop, network, a, b = make_network(latency=0.01)
+    network.send(a.address, b.address, Probe())
+    loop.call_after(0.005, network.crash, b.address)
+    loop.run_until(1.0)
+    assert b.received == []
+
+
+def test_recover_restores_delivery():
+    loop, network, a, b = make_network()
+    network.crash(b.address)
+    network.recover(b.address)
+    network.send(a.address, b.address, Probe())
+    loop.run_until(1.0)
+    assert len(b.received) == 1
+
+
+def test_partition_blocks_both_directions():
+    loop, network, a, b = make_network()
+    network.partition(a.address, b.address)
+    network.send(a.address, b.address, Probe())
+    network.send(b.address, a.address, Probe())
+    loop.run_until(1.0)
+    assert a.received == []
+    assert b.received == []
+    assert network.dropped_messages == 2
+
+
+def test_heal_removes_partition():
+    loop, network, a, b = make_network()
+    network.partition(a.address, b.address)
+    network.heal(a.address, b.address)
+    network.send(a.address, b.address, Probe())
+    loop.run_until(1.0)
+    assert len(b.received) == 1
+
+
+def test_loss_probability_drops_roughly_the_right_fraction():
+    loop, network, a, b = make_network(loss=0.3)
+    for _ in range(2000):
+        network.send(a.address, b.address, Probe())
+    loop.run_until(10.0)
+    received = len(b.received)
+    assert 1250 < received < 1550  # ~1400 expected
+
+
+def test_duplicate_attach_rejected():
+    loop, network, a, b = make_network()
+    with pytest.raises(ValueError):
+        network.attach(Sink(a.address, loop))
+
+
+def test_send_to_unknown_address_is_dropped():
+    loop, network, a, b = make_network()
+    network.send(a.address, replica_address(99), Probe())
+    loop.run_until(1.0)
+    assert network.dropped_messages == 1
+
+
+def test_invalid_loss_probability_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        Network(loop, RngRegistry(0), loss_probability=1.5)
+
+
+def test_detach_stops_delivery():
+    loop, network, a, b = make_network()
+    network.detach(b.address)
+    network.send(a.address, b.address, Probe())
+    loop.run_until(1.0)
+    assert b.received == []

@@ -1,0 +1,90 @@
+"""Tests for the open-loop (Poisson) load driver."""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.workload.open_loop import OpenLoopDriver, spike_rate
+
+from tests.conftest import small_profile
+
+
+def open_loop_cluster(system="idem", pool=20, rate=2000.0, duration=1.0, **kwargs):
+    cluster = build_cluster(
+        system,
+        pool,
+        seed=4,
+        profile=small_profile(),
+        start_clients=False,
+        stop_time=duration,
+        **kwargs,
+    )
+    driver = OpenLoopDriver(
+        cluster.loop,
+        cluster.clients,
+        rate,
+        cluster.rng.stream("open-loop"),
+        stop_time=duration,
+    )
+    driver.start(at=0.0)
+    cluster.run_until(duration)
+    cluster.stop_clients()
+    cluster.run_until(duration + 0.5)
+    return cluster, driver
+
+
+def test_arrival_rate_is_roughly_the_configured_rate():
+    cluster, driver = open_loop_cluster(rate=2000.0, duration=1.0)
+    assert 1700 < driver.arrivals < 2300
+
+
+def test_operations_complete():
+    cluster, driver = open_loop_cluster()
+    successes = sum(client.successes for client in cluster.clients)
+    assert successes > 0
+    # At this light load nothing is shed and nearly all arrivals finish.
+    assert driver.shed_arrivals == 0
+    assert successes >= 0.9 * driver.arrivals
+
+
+def test_saturated_pool_sheds_arrivals():
+    cluster, driver = open_loop_cluster(pool=2, rate=20000.0, duration=0.3)
+    assert driver.shed_arrivals > 0
+    assert driver.arrivals > driver.shed_arrivals  # some were served
+
+
+def test_time_varying_rate_spike():
+    rate = spike_rate(base=500.0, spike=5000.0, start=0.4, duration=0.2)
+    cluster, driver = open_loop_cluster(
+        pool=50, rate=rate, duration=1.0, bucket_width=0.05
+    )
+    series = cluster.metrics.reply_counter.series()
+    quiet = [r for t, r in series if 0.05 <= t < 0.35]
+    spiky = [r for t, r in series if 0.45 <= t < 0.6]
+    assert quiet and spiky
+    assert max(spiky) > 3 * max(quiet)
+
+
+def test_zero_rate_generates_nothing():
+    cluster, driver = open_loop_cluster(rate=lambda t: 0.0, duration=0.3)
+    assert driver.arrivals == 0
+
+
+def test_driver_requires_clients():
+    cluster = build_cluster(
+        "idem", 1, profile=small_profile(), start_clients=False
+    )
+    with pytest.raises(ValueError):
+        OpenLoopDriver(cluster.loop, [], 100.0, cluster.rng.stream("x"))
+
+
+def test_rejected_clients_respect_backoff():
+    """A client that was rejected only rejoins the pool after backing off."""
+    cluster, driver = open_loop_cluster(
+        pool=30,
+        rate=30000.0,
+        duration=0.6,
+        overrides={"reject_threshold": 2},
+    )
+    rejections = sum(client.rejections for client in cluster.clients)
+    assert rejections > 0
+    assert driver.busy_clients <= len(cluster.clients)

@@ -1,0 +1,124 @@
+"""Integration tests for the Paxos baseline (and Paxos_LBR)."""
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.faults import FaultSchedule
+
+from tests.conftest import (
+    assert_replicas_consistent,
+    live_replicas,
+    run_cluster,
+    small_profile,
+    total_successes,
+)
+
+
+class TestNormalOperation:
+    def test_operations_complete(self):
+        cluster = run_cluster("paxos", clients=3, duration=0.5)
+        assert total_successes(cluster) > 100
+
+    def test_replicas_stay_consistent(self):
+        cluster = run_cluster("paxos", clients=5, duration=0.5)
+        assert_replicas_consistent(cluster)
+
+    def test_clients_only_talk_to_the_leader(self):
+        cluster = run_cluster("paxos", clients=3, duration=0.5)
+        leader, *followers = cluster.replicas
+        assert leader.stats["requests_seen"] > 0
+        assert all(f.stats["requests_seen"] == 0 for f in followers)
+
+    def test_never_rejects_without_lbr(self):
+        cluster = run_cluster(
+            "paxos", clients=30, duration=0.5, overrides={"reject_threshold": 2}
+        )
+        assert all(r.stats["rejected"] == 0 for r in cluster.replicas)
+
+
+class TestLeaderCrashFailover:
+    def crash_run(self, system="paxos", clients=4, overrides=None):
+        merged = {"view_change_timeout": 0.4, "client_failover_timeout": 0.3}
+        merged.update(overrides or {})
+        cluster = build_cluster(
+            system,
+            clients,
+            seed=1,
+            profile=small_profile(),
+            overrides=merged,
+            stop_time=4.0,
+        )
+        FaultSchedule().crash_leader(0.5).install(cluster)
+        cluster.run_until(4.0)
+        cluster.stop_clients()
+        cluster.run_until(5.0)
+        return cluster
+
+    def test_clients_fail_over_to_new_leader(self):
+        cluster = self.crash_run()
+        survivors = live_replicas(cluster)
+        assert all(replica.view >= 1 for replica in survivors)
+        post = cluster.metrics.reply_counter.rate_between(3.0, 4.0)
+        assert post > 0
+
+    def test_survivors_converge(self):
+        cluster = self.crash_run()
+        survivors = live_replicas(cluster)
+        assert len({r.app.digest() for r in survivors}) == 1
+
+    def test_clients_learn_the_new_leader(self):
+        cluster = self.crash_run()
+        new_leader = cluster.current_leader()
+        assert all(
+            client.presumed_leader == new_leader for client in cluster.clients
+        )
+
+    def test_relayed_requests_survive_the_crash(self):
+        """Requests relayed by followers to a dead leader are re-relayed
+        after the view change instead of being lost."""
+        cluster = self.crash_run()
+        assert all(client.successes > 0 for client in cluster.clients)
+
+
+class TestLeaderBasedRejection:
+    def test_lbr_rejects_under_overload(self):
+        cluster = run_cluster(
+            "paxos-lbr", clients=20, duration=0.6, overrides={"reject_threshold": 2}
+        )
+        leader = cluster.replicas[0]
+        assert leader.stats["rejected"] > 0
+        assert sum(client.rejections for client in cluster.clients) > 0
+
+    def test_only_the_leader_rejects(self):
+        cluster = run_cluster(
+            "paxos-lbr", clients=20, duration=0.6, overrides={"reject_threshold": 2}
+        )
+        followers = cluster.replicas[1:]
+        assert all(f.stats["rejected"] == 0 for f in followers)
+
+    def test_single_reject_aborts_the_operation(self):
+        cluster = run_cluster(
+            "paxos-lbr", clients=20, duration=0.6, overrides={"reject_threshold": 2}
+        )
+        # Reject latency is a single round trip to the leader: far below
+        # IDEM's quorum-of-rejects plus optimistic grace.
+        summary = cluster.metrics.reject_latency_summary()
+        assert summary.count > 0
+        assert summary.mean < 0.002
+
+    def test_no_rejections_after_leader_crash_until_failover(self):
+        """The Figure 3 phenomenon: rejection goes silent with the leader."""
+        cluster = build_cluster(
+            "paxos-lbr",
+            20,
+            seed=1,
+            profile=small_profile(),
+            overrides={
+                "reject_threshold": 2,
+                "view_change_timeout": 0.6,
+                "client_failover_timeout": 0.4,
+            },
+            stop_time=4.0,
+        )
+        FaultSchedule().crash_leader(1.0).install(cluster)
+        cluster.run_until(4.0)
+        gap = cluster.metrics.reject_gaps.longest_gap_overlapping(1.0, until=None)
+        assert gap > 0.5

@@ -1,0 +1,104 @@
+"""Unit tests for the single-target (Paxos) client and its failover."""
+
+from repro.cluster.metrics import MetricsCollector
+from repro.net.addresses import replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network, NetworkNode
+from repro.protocols.clients import LbrClient, SingleTargetClient
+from repro.protocols.config import ProtocolConfig
+from repro.protocols.messages import Reject, Reply, Request
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+from repro.workload.ycsb import YcsbWorkload
+
+
+class Sink(NetworkNode):
+    def __init__(self, address, loop):
+        self.address = address
+        self.loop = loop
+        self.requests = []
+
+    def deliver(self, src, message):
+        if isinstance(message, Request):
+            self.requests.append((self.loop.now, message))
+
+
+def make_client(client_class=SingleTargetClient, **config_kwargs):
+    loop = EventLoop()
+    rng = RngRegistry(2)
+    network = Network(loop, rng, latency_model=ConstantLatency(1e-4))
+    config = ProtocolConfig(**config_kwargs)
+    client = client_class(
+        0, loop, network, config, MetricsCollector(), YcsbWorkload(), rng
+    )
+    network.attach(client)
+    sinks = {}
+    for index in range(config.n):
+        sinks[index] = Sink(replica_address(index), loop)
+        network.attach(sinks[index])
+    client.start(at=0.0)
+    loop.run_until(0.001)
+    return loop, config, client, sinks
+
+
+def test_requests_go_to_the_presumed_leader_only():
+    loop, config, client, sinks = make_client()
+    assert sinks[0].requests
+    assert not sinks[1].requests
+    assert not sinks[2].requests
+
+
+def test_failover_rotates_through_replicas():
+    loop, config, client, sinks = make_client(client_failover_timeout=0.2)
+    loop.run_until(0.5)  # two failover periods without an answer
+    assert client.presumed_leader == 2
+    assert sinks[1].requests and sinks[2].requests
+    # Always the same operation being retried.
+    rids = {m.rid for _, m in sinks[1].requests + sinks[2].requests}
+    assert rids == {client.current_rid}
+
+
+def test_reply_updates_the_presumed_leader():
+    loop, config, client, sinks = make_client()
+    rid = client.current_rid
+    client.deliver(replica_address(1), Reply(rid, True, 1, view=4))
+    assert client.successes == 1
+    assert client.presumed_leader == 4 % config.n
+
+
+def test_stale_reply_still_teaches_the_leader():
+    loop, config, client, sinks = make_client()
+    client.deliver(replica_address(1), Reply((0, 999), True, 1, view=1))
+    assert client.successes == 0
+    assert client.presumed_leader == 1
+
+
+def test_failover_stops_after_success():
+    loop, config, client, sinks = make_client(client_failover_timeout=0.2)
+    rid = client.current_rid
+    client.deliver(replica_address(0), Reply(rid, True, 1, view=0))
+    client.stop()  # no further operations
+    loop.run_until(1.0)
+    # The completed operation is never retried anywhere.
+    assert all(m.rid == rid or m.rid[1] > rid[1] for _, m in sinks[0].requests)
+    assert not sinks[1].requests
+
+
+def test_generic_retransmission_is_disabled():
+    loop, config, client, sinks = make_client()
+    assert client.retransmit_enabled is False
+
+
+def test_lbr_client_aborts_on_a_single_reject():
+    loop, config, client, sinks = make_client(client_class=LbrClient)
+    rid = client.current_rid
+    client.deliver(replica_address(0), Reject(rid))
+    assert client.rejections == 1
+    assert client.current_rid is None
+
+
+def test_lbr_client_ignores_stale_rejects():
+    loop, config, client, sinks = make_client(client_class=LbrClient)
+    client.deliver(replica_address(0), Reject((0, 999)))
+    assert client.rejections == 0
+    assert client.current_rid is not None

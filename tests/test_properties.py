@@ -1,0 +1,187 @@
+"""Property-based whole-system tests (hypothesis).
+
+Random small scenarios — load levels, seeds, thresholds, loss, crashes —
+must never violate the protocol's core invariants:
+
+* safety: all live replicas execute the same request sequence,
+* bounded admission: client-admitted active requests stay within the
+  reject threshold,
+* outcome accounting: every client operation ends in exactly one of
+  success / rejection / timeout (or is the single in-flight one).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.faults import FaultSchedule
+
+from tests.conftest import small_profile
+
+SCENARIO_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def run_scenario(
+    system: str,
+    seed: int,
+    clients: int,
+    threshold: int,
+    loss: float,
+    crash: str | None,
+):
+    profile = small_profile(loss_probability=loss)
+    overrides = {"view_change_timeout": 0.4}
+    if system.startswith("idem"):
+        overrides["reject_threshold"] = threshold
+        # Rotate prioritisation within the short run so AQM fairness is
+        # exercised (the paper's 2 s slice would never rotate here).
+        overrides["aqm_time_slice"] = 0.25
+    cluster = build_cluster(
+        system, clients, seed=seed, profile=profile, overrides=overrides,
+        stop_time=1.0,
+    )
+    if crash is not None:
+        schedule = FaultSchedule()
+        if crash == "leader":
+            schedule.crash_leader(0.3)
+        else:
+            schedule.crash_follower(0.3)
+        schedule.install(cluster)
+    cluster.run_until(1.0)
+    cluster.stop_clients()
+    # Drain adaptively: under sustained message loss, timeout-paced
+    # recovery can legitimately take several seconds to converge.
+    deadline = 8.0
+    horizon = 2.0
+    while horizon <= deadline:
+        cluster.run_until(horizon)
+        live = [replica for replica in cluster.replicas if not replica.halted]
+        if len({replica.exec_sqn for replica in live}) == 1 and not any(
+            replica._unexecuted for replica in live
+        ):
+            break
+        horizon += 0.5
+    return cluster
+
+
+def check_invariants(cluster) -> None:
+    live = [replica for replica in cluster.replicas if not replica.halted]
+    # Safety: identical state on all live replicas that did not state
+    # transfer past part of the history.
+    assert len({replica.app.digest() for replica in live}) == 1
+    if not any(replica.stats["state_transfers"] for replica in live):
+        assert len({replica.exec_order_digest for replica in live}) == 1
+        assert len({replica.exec_sqn for replica in live}) == 1
+    # No replica executed more operations than were issued in total.
+    issued = sum(client.onr for client in cluster.clients)
+    for replica in live:
+        assert replica.stats["executed"] <= issued
+    # Outcome accounting per client.
+    for client in cluster.clients:
+        finished = client.successes + client.rejections + client.timeouts
+        assert client.onr - finished <= 1
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    clients=st.integers(1, 20),
+    threshold=st.integers(1, 50),
+)
+@SCENARIO_SETTINGS
+def test_idem_fault_free_invariants(seed, clients, threshold):
+    cluster = run_scenario("idem", seed, clients, threshold, 0.0, None)
+    check_invariants(cluster)
+    # The system as a whole always makes progress, and no client is ever
+    # *silently* starved: a client without a success in this finite run
+    # must have been told so through rejections (per-client success is
+    # only guaranteed asymptotically — Theorem 6.4).
+    assert sum(client.successes for client in cluster.clients) > 0
+    for client in cluster.clients:
+        if client.successes == 0:
+            assert client.rejections + client.timeouts > 0
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    clients=st.integers(2, 15),
+    crash=st.sampled_from(["leader", "follower"]),
+)
+@SCENARIO_SETTINGS
+def test_idem_crash_invariants(seed, clients, crash):
+    cluster = run_scenario("idem", seed, clients, 25, 0.0, crash)
+    check_invariants(cluster)
+    assert sum(1 for replica in cluster.replicas if replica.halted) == 1
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    clients=st.integers(1, 10),
+    loss=st.floats(0.0, 0.05),
+)
+@SCENARIO_SETTINGS
+def test_idem_lossy_network_invariants(seed, clients, loss):
+    cluster = run_scenario("idem", seed, clients, 25, loss, None)
+    check_invariants(cluster)
+
+
+@given(
+    system=st.sampled_from(["paxos", "paxos-lbr", "bftsmart"]),
+    seed=st.integers(0, 10_000),
+    clients=st.integers(1, 15),
+)
+@SCENARIO_SETTINGS
+def test_baseline_fault_free_invariants(system, seed, clients):
+    cluster = run_scenario(system, seed, clients, 25, 0.0, None)
+    check_invariants(cluster)
+    assert all(client.successes > 0 for client in cluster.clients)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    clients=st.integers(2, 12),
+    crash=st.sampled_from([None, "leader", "follower"]),
+)
+@SCENARIO_SETTINGS
+def test_multileader_invariants(seed, clients, crash):
+    """The Mencius-style variant upholds the same safety invariants,
+    with and without crashes (which force the single-leader fallback)."""
+    cluster = run_scenario("idem-multileader", seed, clients, 25, 0.0, crash)
+    check_invariants(cluster)
+    if crash is None:
+        assert all(client.successes > 0 for client in cluster.clients)
+
+
+@given(
+    seed=st.integers(0, 1_000),
+    clients=st.integers(5, 25),
+)
+@SCENARIO_SETTINGS
+def test_taildrop_admission_bound(seed, clients):
+    """Client-admitted requests never exceed the threshold; only
+    forwarded requests may exceed it (Section 4.3)."""
+    threshold = 3
+    profile = small_profile()
+    cluster = build_cluster(
+        "idem",
+        clients,
+        seed=seed,
+        profile=profile,
+        overrides={"reject_threshold": threshold, "acceptance": "taildrop"},
+        stop_time=0.5,
+    )
+    bound = threshold + cluster.config.n * threshold
+    violations = []
+
+    def probe():
+        for replica in cluster.replicas:
+            if len(replica.active) > bound:
+                violations.append((cluster.loop.now, replica.index, len(replica.active)))
+        if cluster.loop.now < 0.5:
+            cluster.loop.call_after(0.01, probe)
+
+    cluster.loop.call_after(0.01, probe)
+    cluster.run_until(0.5)
+    assert not violations

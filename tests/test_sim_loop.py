@@ -1,0 +1,170 @@
+"""Unit tests for the event loop."""
+
+import pytest
+
+from repro.sim.errors import SchedulingError, StoppedError
+from repro.sim.loop import EventLoop
+
+
+def test_clock_starts_at_zero():
+    assert EventLoop().now == 0.0
+
+
+def test_clock_starts_at_given_time():
+    assert EventLoop(start_time=5.0).now == 5.0
+
+
+def test_call_after_fires_at_the_right_time():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(1.5, lambda: seen.append(loop.now))
+    loop.run_until(2.0)
+    assert seen == [1.5]
+
+
+def test_call_at_fires_at_absolute_time():
+    loop = EventLoop()
+    seen = []
+    loop.call_at(0.25, lambda: seen.append(loop.now))
+    loop.run_until(1.0)
+    assert seen == [0.25]
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(0.3, seen.append, "c")
+    loop.call_after(0.1, seen.append, "a")
+    loop.call_after(0.2, seen.append, "b")
+    loop.run_until(1.0)
+    assert seen == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    loop = EventLoop()
+    seen = []
+    for label in range(10):
+        loop.call_at(0.5, seen.append, label)
+    loop.run_until(1.0)
+    assert seen == list(range(10))
+
+
+def test_run_until_advances_clock_to_horizon_without_events():
+    loop = EventLoop()
+    loop.run_until(3.0)
+    assert loop.now == 3.0
+
+
+def test_events_beyond_horizon_do_not_fire():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(5.0, seen.append, "late")
+    loop.run_until(1.0)
+    assert seen == []
+    assert loop.pending_events == 1
+
+
+def test_back_to_back_run_until_behaves_like_one_run():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(0.5, seen.append, "a")
+    loop.call_after(1.5, seen.append, "b")
+    loop.run_until(1.0)
+    loop.run_until(2.0)
+    assert seen == ["a", "b"]
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    seen = []
+    event = loop.call_after(0.5, seen.append, "x")
+    event.cancel()
+    loop.run_until(1.0)
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    event = loop.call_after(0.5, lambda: None)
+    event.cancel()
+    event.cancel()
+    loop.run_until(1.0)
+
+
+def test_events_scheduled_during_dispatch_run_in_the_same_pass():
+    loop = EventLoop()
+    seen = []
+
+    def first():
+        seen.append("first")
+        loop.call_after(0.1, seen.append, "second")
+
+    loop.call_after(0.1, first)
+    loop.run_until(1.0)
+    assert seen == ["first", "second"]
+
+
+def test_zero_delay_event_fires_at_current_time():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(0.5, lambda: loop.call_after(0.0, seen.append, loop.now))
+    loop.run_until(1.0)
+    assert seen == [0.5]
+
+
+def test_scheduling_in_the_past_raises():
+    loop = EventLoop()
+    loop.run_until(1.0)
+    with pytest.raises(SchedulingError):
+        loop.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    loop = EventLoop()
+    with pytest.raises(SchedulingError):
+        loop.call_after(-0.1, lambda: None)
+
+
+def test_stop_halts_dispatch():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(0.1, seen.append, "a")
+    loop.call_after(0.2, lambda: loop.stop())
+    loop.call_after(0.3, seen.append, "b")
+    loop.run_until(1.0)
+    assert seen == ["a"]
+
+
+def test_stopped_loop_rejects_new_events():
+    loop = EventLoop()
+    loop.stop()
+    with pytest.raises(StoppedError):
+        loop.call_after(0.1, lambda: None)
+
+
+def test_run_drains_all_events():
+    loop = EventLoop()
+    seen = []
+    loop.call_after(10.0, seen.append, "far")
+    loop.run()
+    assert seen == ["far"]
+    assert loop.now == 10.0
+
+
+def test_dispatched_event_count():
+    loop = EventLoop()
+    for _ in range(5):
+        loop.call_after(0.1, lambda: None)
+    loop.run_until(1.0)
+    assert loop.dispatched_events == 5
+
+
+def test_drain_cancelled_removes_only_cancelled_events():
+    loop = EventLoop()
+    keep = loop.call_after(1.0, lambda: None)
+    gone = loop.call_after(1.0, lambda: None)
+    gone.cancel()
+    removed = loop.drain_cancelled()
+    assert removed == 1
+    assert loop.pending_events == 1
+    assert not keep.cancelled

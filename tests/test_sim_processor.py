@@ -1,0 +1,129 @@
+"""Unit tests for the serial CPU service station."""
+
+import pytest
+
+from repro.sim.loop import EventLoop
+from repro.sim.processor import Processor
+
+
+def make() -> tuple[EventLoop, Processor]:
+    loop = EventLoop()
+    return loop, Processor(loop)
+
+
+def test_single_job_completes_after_its_cost():
+    loop, cpu = make()
+    seen = []
+    cpu.submit(0.5, lambda: seen.append(loop.now))
+    loop.run_until(1.0)
+    assert seen == [0.5]
+
+
+def test_jobs_are_served_fifo_and_queueing_delays_completion():
+    loop, cpu = make()
+    seen = []
+    cpu.submit(0.5, lambda: seen.append(("a", loop.now)))
+    cpu.submit(0.5, lambda: seen.append(("b", loop.now)))
+    cpu.submit(0.5, lambda: seen.append(("c", loop.now)))
+    loop.run_until(2.0)
+    assert seen == [("a", 0.5), ("b", 1.0), ("c", 1.5)]
+
+
+def test_jobs_submitted_later_queue_behind_in_flight_work():
+    loop, cpu = make()
+    seen = []
+    cpu.submit(1.0, lambda: seen.append(("a", loop.now)))
+    loop.call_after(0.5, cpu.submit, 1.0, lambda: seen.append(("b", loop.now)))
+    loop.run_until(5.0)
+    assert seen == [("a", 1.0), ("b", 2.0)]
+
+
+def test_idle_gap_between_jobs():
+    loop, cpu = make()
+    seen = []
+    cpu.submit(0.2, lambda: seen.append(loop.now))
+    loop.call_after(1.0, cpu.submit, 0.2, lambda: seen.append(loop.now))
+    loop.run_until(5.0)
+    assert seen == [0.2, 1.2]
+
+
+def test_speed_scales_service_time():
+    loop = EventLoop()
+    cpu = Processor(loop, speed=2.0)
+    seen = []
+    cpu.submit(1.0, lambda: seen.append(loop.now))
+    loop.run_until(5.0)
+    assert seen == [0.5]
+
+
+def test_zero_cost_job_runs_immediately():
+    loop, cpu = make()
+    seen = []
+    cpu.submit(0.0, seen.append, "x")
+    loop.run_until(0.1)
+    assert seen == ["x"]
+
+
+def test_negative_cost_rejected():
+    loop, cpu = make()
+    with pytest.raises(ValueError):
+        cpu.submit(-1.0, lambda: None)
+
+
+def test_invalid_speed_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        Processor(loop, speed=0.0)
+
+
+def test_utilization_tracks_busy_fraction():
+    loop, cpu = make()
+    cpu.submit(0.5, lambda: None)
+    loop.run_until(2.0)
+    assert cpu.utilization(2.0) == pytest.approx(0.25)
+
+
+def test_queue_length_and_max_queue():
+    loop, cpu = make()
+    for _ in range(4):
+        cpu.submit(0.1, lambda: None)
+    # One job enters service immediately; three wait.
+    assert cpu.queue_length == 3
+    assert cpu.max_queue_length == 3
+    loop.run_until(1.0)
+    assert cpu.queue_length == 0
+
+
+def test_jobs_completed_counter():
+    loop, cpu = make()
+    for _ in range(5):
+        cpu.submit(0.1, lambda: None)
+    loop.run_until(1.0)
+    assert cpu.jobs_completed == 5
+
+
+def test_halt_drops_queue_and_ignores_new_work():
+    loop, cpu = make()
+    seen = []
+    cpu.submit(0.5, seen.append, "a")
+    cpu.submit(0.5, seen.append, "b")
+    loop.run_until(0.1)
+    cpu.halt()
+    cpu.submit(0.5, seen.append, "c")
+    loop.run_until(5.0)
+    # The in-flight job's completion is suppressed too.
+    assert seen == []
+
+
+def test_work_submitted_by_a_job_queues_behind_existing_queue():
+    loop, cpu = make()
+    seen = []
+
+    def job_a():
+        seen.append(("a", loop.now))
+        cpu.submit(0.1, lambda: seen.append(("a2", loop.now)))
+
+    cpu.submit(0.1, job_a)
+    cpu.submit(0.1, lambda: seen.append(("b", loop.now)))
+    loop.run_until(1.0)
+    assert [label for label, _ in seen] == ["a", "b", "a2"]

@@ -1,0 +1,96 @@
+"""Unit tests for Timer and RestartableTimer."""
+
+import pytest
+
+from repro.sim.loop import EventLoop
+from repro.sim.timers import RestartableTimer, Timer
+
+
+def test_timer_fires_after_delay():
+    loop = EventLoop()
+    seen = []
+    timer = Timer(loop, seen.append, "fired")
+    timer.start(0.5)
+    loop.run_until(1.0)
+    assert seen == ["fired"]
+
+
+def test_timer_cancel_prevents_firing():
+    loop = EventLoop()
+    seen = []
+    timer = Timer(loop, seen.append, "fired")
+    timer.start(0.5)
+    timer.cancel()
+    loop.run_until(1.0)
+    assert seen == []
+
+
+def test_timer_restart_replaces_pending_expiry():
+    loop = EventLoop()
+    seen = []
+    timer = Timer(loop, lambda: seen.append(loop.now))
+    timer.start(0.5)
+    loop.run_until(0.3)
+    timer.start(0.5)  # re-arm at t=0.3
+    loop.run_until(2.0)
+    assert seen == [0.8]
+
+
+def test_timer_running_property():
+    loop = EventLoop()
+    timer = Timer(loop, lambda: None)
+    assert not timer.running
+    timer.start(0.5)
+    assert timer.running
+    loop.run_until(1.0)
+    assert not timer.running
+
+
+def test_timer_can_be_reused_after_firing():
+    loop = EventLoop()
+    seen = []
+    timer = Timer(loop, lambda: seen.append(loop.now))
+    timer.start(0.2)
+    loop.run_until(0.5)
+    timer.start(0.2)
+    loop.run_until(1.0)
+    assert seen == [0.2, 0.7]
+
+
+def test_restartable_timer_fires_after_full_period():
+    loop = EventLoop()
+    seen = []
+    timer = RestartableTimer(loop, 1.0, lambda: seen.append(loop.now))
+    timer.start()
+    loop.run_until(2.0)
+    assert seen == [1.0]
+
+
+def test_restartable_timer_restart_postpones_expiry():
+    loop = EventLoop()
+    seen = []
+    timer = RestartableTimer(loop, 1.0, lambda: seen.append(loop.now))
+    timer.start()
+    for t in (0.5, 1.0, 1.5):
+        loop.run_until(t)
+        timer.restart()
+    loop.run_until(5.0)
+    assert seen == [2.5]
+
+
+def test_restartable_timer_stop():
+    loop = EventLoop()
+    seen = []
+    timer = RestartableTimer(loop, 1.0, seen.append, "x")
+    timer.start()
+    loop.run_until(0.5)
+    timer.stop()
+    loop.run_until(5.0)
+    assert seen == []
+    assert not timer.running
+
+
+def test_restartable_timer_rejects_non_positive_period():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        RestartableTimer(loop, 0.0, lambda: None)

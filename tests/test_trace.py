@@ -1,0 +1,94 @@
+"""Tests for network message tracing."""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.net.addresses import client_address, replica_address
+from repro.net.trace import MessageTracer, TraceFilter, TraceRecord
+
+from tests.conftest import small_profile
+
+
+def traced_cluster(trace_filter=None, max_records=100_000, clients=1, duration=0.2):
+    cluster = build_cluster(
+        "idem", clients, seed=1, profile=small_profile(), stop_time=duration
+    )
+    tracer = MessageTracer(trace_filter, max_records=max_records)
+    cluster.network.tracer = tracer
+    cluster.run_until(duration)
+    return cluster, tracer
+
+
+class TestTraceFilter:
+    def record(self, time=0.5, type_name="Request"):
+        return TraceRecord(
+            time, client_address(0), replica_address(0), type_name, 100
+        )
+
+    def test_empty_filter_matches_everything(self):
+        assert TraceFilter().matches(self.record())
+
+    def test_type_filter(self):
+        trace_filter = TraceFilter(types=frozenset({"Reply"}))
+        assert not trace_filter.matches(self.record(type_name="Request"))
+        assert trace_filter.matches(self.record(type_name="Reply"))
+
+    def test_endpoint_filter(self):
+        trace_filter = TraceFilter(endpoints=frozenset({replica_address(0)}))
+        assert trace_filter.matches(self.record())
+        other = TraceRecord(
+            0.5, replica_address(1), replica_address(2), "Commit", 32
+        )
+        assert not trace_filter.matches(other)
+
+    def test_time_window(self):
+        trace_filter = TraceFilter(start=1.0, end=2.0)
+        assert not trace_filter.matches(self.record(time=0.5))
+        assert trace_filter.matches(self.record(time=1.5))
+
+
+class TestMessageTracer:
+    def test_records_protocol_messages(self):
+        cluster, tracer = traced_cluster()
+        counts = tracer.by_type()
+        for expected in ("Request", "RequireBatch", "Propose", "Commit", "Reply"):
+            assert counts.get(expected, 0) > 0, expected
+
+    def test_type_filter_restricts_recording(self):
+        cluster, tracer = traced_cluster(TraceFilter(types=frozenset({"Reply"})))
+        assert set(tracer.by_type()) == {"Reply"}
+
+    def test_cap_truncates_and_counts(self):
+        cluster, tracer = traced_cluster(max_records=10)
+        assert len(tracer) == 10
+        assert tracer.truncated > 0
+
+    def test_between(self):
+        cluster, tracer = traced_cluster()
+        pair = tracer.between(replica_address(0), replica_address(1))
+        assert pair
+        for record in pair:
+            assert {record.src, record.dst} == {
+                replica_address(0),
+                replica_address(1),
+            }
+
+    def test_conversation_rendering(self):
+        cluster, tracer = traced_cluster(max_records=20)
+        text = tracer.conversation()
+        assert "Request" in text
+        assert "->" in text
+        assert "truncated" in text
+
+    def test_tracer_does_not_change_the_run(self):
+        plain = build_cluster("idem", 1, seed=1, profile=small_profile(), stop_time=0.2)
+        plain.run_until(0.2)
+        traced, _ = traced_cluster()
+        assert (
+            plain.replicas[0].exec_order_digest
+            == traced.replicas[0].exec_order_digest
+        )
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            MessageTracer(max_records=0)

@@ -1,0 +1,88 @@
+"""Unit tests for traffic accounting and addresses."""
+
+from repro.net.addresses import (
+    Address,
+    CLIENT,
+    REPLICA,
+    client_address,
+    replica_address,
+)
+from repro.net.traffic import TrafficMeter
+
+
+class TestAddresses:
+    def test_kinds(self):
+        assert replica_address(0).kind == REPLICA
+        assert client_address(3).kind == CLIENT
+
+    def test_str(self):
+        assert str(replica_address(2)) == "replica-2"
+        assert str(client_address(7)) == "client-7"
+
+    def test_equality_and_hashing(self):
+        assert replica_address(1) == Address(REPLICA, 1)
+        assert replica_address(1) != client_address(1)
+        assert len({replica_address(1), Address(REPLICA, 1)}) == 1
+
+
+class TestTrafficMeter:
+    def test_totals(self):
+        meter = TrafficMeter()
+        meter.record(client_address(0), replica_address(0), "Request", 100)
+        meter.record(replica_address(0), replica_address(1), "Commit", 30)
+        assert meter.total_bytes == 130
+        assert meter.total_messages == 2
+
+    def test_flow_classification(self):
+        meter = TrafficMeter()
+        meter.record(client_address(0), replica_address(0), "Request", 100)
+        meter.record(replica_address(0), client_address(0), "Reply", 50)
+        meter.record(replica_address(0), replica_address(1), "Commit", 30)
+        assert meter.client_bytes == 150
+        assert meter.replica_bytes == 30
+        assert meter.flow_bytes(CLIENT, REPLICA) == 100
+        assert meter.flow_bytes(REPLICA, CLIENT) == 50
+
+    def test_by_type_breakdown(self):
+        meter = TrafficMeter()
+        for _ in range(3):
+            meter.record(client_address(0), replica_address(0), "Request", 100)
+        meter.record(replica_address(0), client_address(0), "Reply", 50)
+        breakdown = meter.by_type()
+        assert breakdown["Request"] == 300
+        assert breakdown["Reply"] == 50
+
+    def test_snapshot(self):
+        meter = TrafficMeter()
+        meter.record(client_address(0), replica_address(0), "Request", 100)
+        snapshot = meter.snapshot()
+        assert snapshot == {
+            "total_bytes": 100,
+            "total_messages": 1,
+            "client_bytes": 100,
+            "replica_bytes": 0,
+        }
+
+    def test_unknown_flow_is_zero(self):
+        assert TrafficMeter().flow_bytes(REPLICA, CLIENT) == 0
+
+
+class TestTrafficCompositionEndToEnd:
+    def test_idem_request_traffic_dominates_and_commits_are_small(self):
+        """With 1 KB values, client requests are the bulk of the bytes
+        and the id-based agreement messages are a sliver."""
+        from repro.cluster.builder import build_cluster
+        from tests.conftest import small_profile
+
+        cluster = build_cluster(
+            "idem", 3, seed=1, profile=small_profile(), stop_time=0.3
+        )
+        cluster.run_until(0.3)
+        breakdown = cluster.network.traffic.by_type()
+        assert breakdown["Request"] > 0.5 * cluster.network.traffic.total_bytes
+        agreement = (
+            breakdown.get("Propose", 0)
+            + breakdown.get("Commit", 0)
+            + breakdown.get("RequireBatch", 0)
+        )
+        assert agreement < 0.1 * breakdown["Request"]

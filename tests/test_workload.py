@@ -1,0 +1,173 @@
+"""Unit tests for the YCSB workload generator, key choosers and schedules."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.app.commands import KvOp
+from repro.app.kvstore import KeyValueStore
+from repro.workload.keys import LatestKeys, UniformKeys, ZipfianKeys
+from repro.workload.schedule import BurstSchedule, ConstantSchedule, StepSchedule
+from repro.workload.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_UPDATE_HEAVY,
+    YcsbProfile,
+    YcsbWorkload,
+)
+
+
+class TestKeyChoosers:
+    def test_uniform_in_bounds(self):
+        chooser = UniformKeys(100)
+        rng = random.Random(1)
+        for _ in range(1000):
+            assert 0 <= chooser.next_index(rng) < 100
+
+    def test_uniform_covers_keyspace(self):
+        chooser = UniformKeys(10)
+        rng = random.Random(1)
+        seen = {chooser.next_index(rng) for _ in range(500)}
+        assert seen == set(range(10))
+
+    def test_zipfian_in_bounds(self):
+        chooser = ZipfianKeys(1000)
+        rng = random.Random(2)
+        for _ in range(2000):
+            assert 0 <= chooser.next_index(rng) < 1000
+
+    def test_zipfian_is_skewed(self):
+        chooser = ZipfianKeys(1000, scrambled=False)
+        rng = random.Random(3)
+        draws = [chooser.next_index(rng) for _ in range(20000)]
+        top_share = draws.count(0) / len(draws)
+        # With theta=0.99 and 1000 records, rank 0 gets roughly 13%.
+        assert top_share > 0.05
+
+    def test_zipfian_scrambling_moves_the_hot_key(self):
+        plain = ZipfianKeys(1000, scrambled=False)
+        scrambled = ZipfianKeys(1000, scrambled=True)
+        rng = random.Random(4)
+        plain_draws = [plain.next_index(rng) for _ in range(5000)]
+        rng = random.Random(4)
+        scrambled_draws = [scrambled.next_index(rng) for _ in range(5000)]
+        hot_plain = max(set(plain_draws), key=plain_draws.count)
+        hot_scrambled = max(set(scrambled_draws), key=scrambled_draws.count)
+        assert hot_plain == 0
+        assert hot_scrambled != 0
+
+    def test_zipfian_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(100, theta=1.0)
+
+    def test_latest_skews_to_newest(self):
+        chooser = LatestKeys(100)
+        rng = random.Random(5)
+        draws = [chooser.next_index(rng) for _ in range(5000)]
+        assert draws.count(99) / len(draws) > 0.05
+
+    def test_latest_advance_extends_keyspace(self):
+        chooser = LatestKeys(10)
+        chooser.advance()
+        assert chooser.record_count == 11
+
+    def test_record_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0)
+
+
+class TestYcsbProfiles:
+    def test_core_workload_mixes(self):
+        assert WORKLOAD_A.read_proportion == 0.5
+        assert WORKLOAD_B.read_proportion == 0.95
+        assert WORKLOAD_C.read_proportion == 1.0
+        assert WORKLOAD_UPDATE_HEAVY.update_proportion == 0.5
+
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            YcsbProfile("bad", read_proportion=0.5, update_proportion=0.4)
+
+
+class TestYcsbWorkload:
+    def test_operation_mix_matches_profile(self):
+        workload = YcsbWorkload(WORKLOAD_A)
+        rng = random.Random(6)
+        ops = [workload.next_command(rng).op for _ in range(4000)]
+        read_share = ops.count(KvOp.READ) / len(ops)
+        assert 0.45 < read_share < 0.55
+        assert all(op in (KvOp.READ, KvOp.UPDATE) for op in ops)
+
+    def test_updates_carry_the_profile_value_size(self):
+        workload = YcsbWorkload(WORKLOAD_UPDATE_HEAVY)
+        rng = random.Random(7)
+        commands = [workload.next_command(rng) for _ in range(100)]
+        updates = [c for c in commands if c.op is KvOp.UPDATE]
+        assert updates
+        assert all(c.value_size == WORKLOAD_UPDATE_HEAVY.value_size for c in updates)
+
+    def test_keys_are_within_the_keyspace(self):
+        workload = YcsbWorkload(WORKLOAD_A)
+        rng = random.Random(8)
+        for _ in range(500):
+            command = workload.next_command(rng)
+            index = int(command.key.removeprefix("user"))
+            assert 0 <= index < WORKLOAD_A.record_count
+
+    def test_preload_fills_the_store(self):
+        workload = YcsbWorkload(WORKLOAD_A)
+        store = KeyValueStore()
+        workload.preload(store)
+        assert len(store) == WORKLOAD_A.record_count
+
+    def test_preloaded_reads_always_hit(self):
+        workload = YcsbWorkload(WORKLOAD_A)
+        store = KeyValueStore()
+        workload.preload(store)
+        rng = random.Random(9)
+        for _ in range(200):
+            command = workload.next_command(rng)
+            assert store.apply(command).ok
+
+    def test_same_rng_stream_same_commands(self):
+        workload_a = YcsbWorkload(WORKLOAD_A)
+        workload_b = YcsbWorkload(WORKLOAD_A)
+        a = [workload_a.next_command(random.Random(10)) for _ in range(1)]
+        b = [workload_b.next_command(random.Random(10)) for _ in range(1)]
+        assert a == b
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(7)
+        assert schedule.active_clients(0.0) == 7
+        assert schedule.active_clients(100.0) == 7
+        assert schedule.max_clients() == 7
+
+    def test_step_schedule(self):
+        schedule = StepSchedule(((1.0, 10), (2.0, 30)))
+        assert schedule.active_clients(0.5) == 0
+        assert schedule.active_clients(1.5) == 10
+        assert schedule.active_clients(2.5) == 30
+        assert schedule.max_clients() == 30
+
+    def test_step_schedule_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            StepSchedule(((2.0, 10), (1.0, 30)))
+
+    def test_burst_schedule(self):
+        schedule = BurstSchedule(base=10, burst=40, period=10.0, burst_duration=2.0)
+        assert schedule.active_clients(1.0) == 50
+        assert schedule.active_clients(5.0) == 10
+        assert schedule.active_clients(11.0) == 50
+        assert schedule.max_clients() == 50
+
+    def test_burst_duration_cannot_exceed_period(self):
+        with pytest.raises(ValueError):
+            BurstSchedule(base=1, burst=1, period=1.0, burst_duration=2.0)
+
+    @given(st.floats(min_value=0, max_value=1000))
+    def test_burst_schedule_always_within_bounds(self, time):
+        schedule = BurstSchedule(base=5, burst=20, period=7.0, burst_duration=3.0)
+        assert 5 <= schedule.active_clients(time) <= 25

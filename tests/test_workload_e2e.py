@@ -1,0 +1,82 @@
+"""End-to-end runs with non-default workloads (YCSB B/C, scans)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.profile import ClusterProfile
+from repro.workload.ycsb import WORKLOAD_B, WORKLOAD_C, YcsbProfile
+
+from tests.conftest import assert_replicas_consistent, total_successes
+
+
+def run_workload(profile: YcsbProfile, system="idem", clients=5, duration=0.4):
+    cluster_profile = ClusterProfile(
+        workload=replace(profile, record_count=50)
+    )
+    cluster = build_cluster(
+        system, clients, seed=2, profile=cluster_profile, stop_time=duration
+    )
+    cluster.run_until(duration)
+    cluster.stop_clients()
+    cluster.run_until(duration + 0.5)
+    return cluster
+
+
+def test_read_heavy_workload_b():
+    cluster = run_workload(WORKLOAD_B)
+    assert total_successes(cluster) > 100
+    assert_replicas_consistent(cluster)
+
+
+def test_read_only_workload_c_leaves_state_untouched():
+    cluster = run_workload(WORKLOAD_C)
+    assert total_successes(cluster) > 100
+    # 50 preloaded records, nothing else: reads only.
+    assert all(len(replica.app) == 50 for replica in cluster.replicas)
+
+
+def test_read_replies_carry_the_value_bytes():
+    """READ replies ship the record, so read-heavy runs have heavier
+    replica->client traffic per op than update-heavy ones."""
+    reads = run_workload(WORKLOAD_C)
+    writes = run_workload(replace(WORKLOAD_C, name="w", read_proportion=0.0, update_proportion=1.0))
+    reads_out = reads.network.traffic.flow_bytes("replica", "client")
+    writes_out = writes.network.traffic.flow_bytes("replica", "client")
+    reads_per_op = reads_out / total_successes(reads)
+    writes_per_op = writes_out / total_successes(writes)
+    assert reads_per_op > 3 * writes_per_op
+
+
+def test_scan_workload_executes_consistently():
+    scan_profile = YcsbProfile(
+        "scan-mix",
+        read_proportion=0.4,
+        update_proportion=0.4,
+        scan_proportion=0.2,
+        max_scan_length=5,
+    )
+    cluster = run_workload(scan_profile)
+    assert total_successes(cluster) > 50
+    assert_replicas_consistent(cluster)
+
+
+def test_insert_workload_grows_the_store():
+    insert_profile = YcsbProfile(
+        "insert-mix",
+        read_proportion=0.5,
+        update_proportion=0.3,
+        insert_proportion=0.2,
+    )
+    cluster = run_workload(insert_profile)
+    sizes = {len(replica.app) for replica in cluster.replicas}
+    assert len(sizes) == 1
+    assert sizes.pop() > 50  # inserts extended the keyspace
+
+
+@pytest.mark.parametrize("system", ["paxos", "bftsmart"])
+def test_baselines_handle_read_heavy_workloads(system):
+    cluster = run_workload(WORKLOAD_B, system=system)
+    assert total_successes(cluster) > 100
+    assert_replicas_consistent(cluster)

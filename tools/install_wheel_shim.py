@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Install the offline ``wheel`` shim into the active environment.
+
+Run this once if ``pip install -e .`` fails with
+``error: invalid command 'bdist_wheel'`` — that error means the
+environment has setuptools but not the ``wheel`` distribution, and no
+network to fetch it.  The shim (see ``tools/wheel_shim``) provides the
+small surface setuptools needs.  A real ``wheel`` installation, if one
+is present, is left untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import sysconfig
+
+SHIM_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "wheel_shim")
+DIST_INFO = "wheel-0.43.0+shim.dist-info"
+
+METADATA = """\
+Metadata-Version: 2.1
+Name: wheel
+Version: 0.43.0+shim
+Summary: Offline shim providing the bdist_wheel surface setuptools needs
+"""
+
+ENTRY_POINTS = """\
+[distutils.commands]
+bdist_wheel = wheel.bdist_wheel:bdist_wheel
+"""
+
+
+def main() -> int:
+    try:
+        import wheel  # noqa: F401
+
+        if "+shim" not in getattr(wheel, "__version__", "+shim"):
+            print("a real 'wheel' package is already installed; nothing to do")
+            return 0
+    except ImportError:
+        pass
+
+    site_packages = sysconfig.get_paths()["purelib"]
+    package_src = os.path.join(SHIM_ROOT, "wheel")
+    package_dst = os.path.join(site_packages, "wheel")
+    shutil.copytree(package_src, package_dst, dirs_exist_ok=True)
+
+    dist_info_dir = os.path.join(site_packages, DIST_INFO)
+    os.makedirs(dist_info_dir, exist_ok=True)
+    with open(os.path.join(dist_info_dir, "METADATA"), "w", encoding="utf-8") as f:
+        f.write(METADATA)
+    with open(os.path.join(dist_info_dir, "entry_points.txt"), "w", encoding="utf-8") as f:
+        f.write(ENTRY_POINTS)
+    with open(os.path.join(dist_info_dir, "RECORD"), "w", encoding="utf-8") as f:
+        f.write("")
+
+    print(f"installed wheel shim into {package_dst}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""A minimal, offline-friendly subset of the ``wheel`` package.
+
+Fully offline environments sometimes ship setuptools without the
+``wheel`` distribution, which breaks ``pip install -e .`` (setuptools'
+PEP 660 editable builds import ``wheel.wheelfile`` and run the
+``bdist_wheel`` command).  This shim provides exactly the surface
+setuptools needs:
+
+* :mod:`wheel.wheelfile` — a RECORD-maintaining zip writer.
+* :mod:`wheel.bdist_wheel` — a pure-Python ``bdist_wheel`` command.
+
+Install it with ``python tools/install_wheel_shim.py`` (see README).
+It is *not* a general replacement for the real ``wheel`` project.
+"""
+
+__version__ = "0.43.0+shim"

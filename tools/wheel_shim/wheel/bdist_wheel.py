@@ -1,0 +1,117 @@
+"""A pure-Python ``bdist_wheel`` distutils command (py3-none-any only).
+
+Implements the three entry points setuptools' editable/dist-info builds
+use — :meth:`bdist_wheel.get_tag`, :meth:`bdist_wheel.write_wheelfile`
+and :meth:`bdist_wheel.egg2dist` — plus a straightforward ``run`` so
+non-editable ``pip install .`` also works for pure-Python projects.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import tempfile
+
+from distutils import log
+from distutils.core import Command
+
+from wheel import __version__
+from wheel.wheelfile import WheelFile
+
+
+def safer_name(name: str) -> str:
+    """Escape a project name for use in a wheel filename (PEP 491)."""
+    return re.sub(r"[^\w\d.]+", "_", name, flags=re.UNICODE)
+
+
+def safer_version(version: str) -> str:
+    """Escape a version for use in a wheel filename."""
+    return re.sub(r"[^\w\d.+]+", "_", version, flags=re.UNICODE)
+
+
+class bdist_wheel(Command):
+    """Build a py3-none-any wheel from a pure-Python distribution."""
+
+    description = "create a wheel distribution (offline shim)"
+
+    user_options = [
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("keep-temp", "k", "keep the build tree"),
+    ]
+    boolean_options = ["keep-temp"]
+
+    def initialize_options(self) -> None:
+        self.dist_dir = None
+        self.keep_temp = False
+
+    def finalize_options(self) -> None:
+        if self.dist_dir is None:
+            self.dist_dir = os.path.join(
+                self.distribution.src_root or os.curdir, "dist"
+            )
+
+    # -- the surface setuptools needs ----------------------------------
+
+    def get_tag(self) -> tuple[str, str, str]:
+        """The wheel tag; this shim only builds pure-Python wheels."""
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, dist_info_dir: str) -> None:
+        """Write the WHEEL metadata file into ``dist_info_dir``."""
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: wheel-shim ({__version__})\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {'-'.join(self.get_tag())}\n"
+        )
+        with open(os.path.join(dist_info_dir, "WHEEL"), "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def egg2dist(self, egginfo_path: str, distinfo_path: str) -> None:
+        """Convert an ``.egg-info`` directory into a ``.dist-info`` one."""
+        if os.path.exists(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+        pkg_info = os.path.join(egginfo_path, "PKG-INFO")
+        shutil.copyfile(pkg_info, os.path.join(distinfo_path, "METADATA"))
+        for extra in ("entry_points.txt", "top_level.txt"):
+            source = os.path.join(egginfo_path, extra)
+            if os.path.exists(source):
+                shutil.copyfile(source, os.path.join(distinfo_path, extra))
+        self.write_wheelfile(distinfo_path)
+        shutil.rmtree(egginfo_path, ignore_errors=True)
+
+    # -- full (non-editable) builds -------------------------------------
+
+    def run(self) -> None:
+        build = self.reinitialize_command("build")
+        build.ensure_finalized()
+        self.run_command("build")
+
+        name = safer_name(self.distribution.get_name())
+        version = safer_version(self.distribution.get_version())
+        tag = "-".join(self.get_tag())
+        archive = f"{name}-{version}-{tag}.whl"
+        os.makedirs(self.dist_dir, exist_ok=True)
+        wheel_path = os.path.join(self.dist_dir, archive)
+
+        staging = tempfile.mkdtemp(suffix=".wheel-shim")
+        try:
+            build_lib = build.build_lib
+            if os.path.isdir(build_lib):
+                shutil.copytree(build_lib, staging, dirs_exist_ok=True)
+            egg_info = self.get_finalized_command("egg_info")
+            egg_info.run()
+            dist_info_dir = os.path.join(staging, f"{name}-{version}.dist-info")
+            self.egg2dist(egg_info.egg_info, dist_info_dir)
+            if os.path.exists(wheel_path):
+                os.unlink(wheel_path)
+            with WheelFile(wheel_path, "w") as wf:
+                wf.write_files(staging)
+            log.info("created %s", wheel_path)
+        finally:
+            if not self.keep_temp:
+                shutil.rmtree(staging, ignore_errors=True)
+
+        self.distribution.dist_files.append(("bdist_wheel", "3", wheel_path))

@@ -1,0 +1,70 @@
+"""A RECORD-maintaining zip file, API-compatible with wheel.wheelfile."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import zipfile
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    encoded = base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+    return f"sha256={encoded}"
+
+
+class WheelFile(zipfile.ZipFile):
+    """Write a .whl archive, appending a correct RECORD on close."""
+
+    def __init__(self, file, mode: str = "r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode=mode, compression=compression, allowZip64=True)
+        self._records: list[tuple[str, str, int]] = []
+        base = os.path.basename(str(file))
+        stem = base[: -len(".whl")] if base.endswith(".whl") else base
+        parts = stem.split("-")
+        self.dist_info_path = f"{parts[0]}-{parts[1]}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):  # noqa: D102
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        name = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else zinfo_or_arcname
+        )
+        if name != self.record_path:
+            self._records.append((name, _record_hash(data), len(data)))
+
+    def write(self, filename, arcname=None, *args, **kwargs):  # noqa: D102
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        name = arcname if arcname is not None else os.path.basename(filename)
+        self.writestr(name.replace(os.sep, "/"), data)
+
+    def write_files(self, base_dir) -> None:
+        """Recursively add every file below ``base_dir`` to the archive."""
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for filename in sorted(files):
+                path = os.path.join(root, filename)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                self.write(path, arcname)
+
+    def close(self) -> None:  # noqa: D102
+        if self.mode == "w" and not self._closed_record_written():
+            lines = [
+                f"{name},{digest},{size}" for name, digest, size in self._records
+            ]
+            lines.append(f"{self.record_path},,")
+            record = "\n".join(lines) + "\n"
+            super().writestr(self.record_path, record.encode("utf-8"))
+        super().close()
+
+    def _closed_record_written(self) -> bool:
+        try:
+            return self.record_path in self.namelist()
+        except Exception:  # pragma: no cover - archive already closed
+            return True
