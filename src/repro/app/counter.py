@@ -6,6 +6,7 @@ behaviour rather than workload realism.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any
 
 from repro.app.commands import Command, CommandResult, KvOp
@@ -46,5 +47,8 @@ class CounterApp(StateMachine):
         return sum(len(key) + 8 for key in self._counters)
 
     def digest(self) -> int:
-        """Order-insensitive digest of the counter state."""
-        return hash(frozenset(self._counters.items()))
+        """Order-insensitive, process-stable digest of the counter state."""
+        payload = "\x00".join(
+            f"{key}\x01{value}" for key, value in sorted(self._counters.items())
+        )
+        return int.from_bytes(hashlib.sha256(payload.encode()).digest()[:8], "big")

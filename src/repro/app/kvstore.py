@@ -9,6 +9,7 @@ digests), never the bytes themselves.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any
 
 from repro.app.commands import Command, CommandResult, KvOp
@@ -79,5 +80,14 @@ class KeyValueStore(StateMachine):
         return sum(len(key) + 8 + size for key, size in self._data.items())
 
     def digest(self) -> int:
-        """An order-insensitive state digest for cross-replica comparison."""
-        return hash(frozenset(self._data.items()))
+        """An order-insensitive state digest for cross-replica comparison.
+
+        Process-stable (unlike ``hash()``, which is salted per process)
+        so chaos-run summaries are byte-identical across invocations.
+        """
+        return _stable_digest(self._data)
+
+
+def _stable_digest(data: dict[str, int]) -> int:
+    payload = "\x00".join(f"{key}\x01{value}" for key, value in sorted(data.items()))
+    return int.from_bytes(hashlib.sha256(payload.encode()).digest()[:8], "big")

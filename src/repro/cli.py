@@ -27,7 +27,10 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         default="all",
-        help="experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10) or 'all'",
+        help=(
+            "experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10), "
+            "'all', or 'chaos' for a randomized fault-injection run"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="scaled-down settings (faster, coarser)"
@@ -54,7 +57,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    parser.add_argument(
+        "--protocol",
+        default="idem",
+        help="system to run the chaos campaign against (chaos only)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=20,
+        help="closed-loop clients driving the chaos run (chaos only)",
+    )
     args = parser.parse_args(argv)
+    if args.experiment == "chaos":
+        return run_chaos_command(args)
     if args.runs is not None:
         os.environ["REPRO_RUNS"] = str(args.runs)
     if args.duration is not None:
@@ -85,6 +101,30 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[raw data saved to {path}]")
         print(f"\n[{experiment_id} finished in {elapsed:.1f}s wall time]\n")
     return 0
+
+
+def run_chaos_command(args) -> int:
+    """Run a seeded chaos campaign; exit 1 on any invariant violation.
+
+    The report printed to stdout is fully deterministic for a given
+    option set (no wall-clock content), so two runs with the same seed
+    can be compared byte-for-byte — see the CI determinism job.
+    """
+    from repro.cluster.chaos import ChaosOptions, run_chaos
+
+    try:
+        options = ChaosOptions(
+            system=args.protocol,
+            clients=args.clients,
+            duration=args.duration if args.duration is not None else 30.0,
+            seed=args.seed,
+        )
+        report = run_chaos(options)
+    except ValueError as error:  # unknown system, bad duration, ...
+        print(f"chaos: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

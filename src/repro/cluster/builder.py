@@ -109,6 +109,7 @@ class Cluster:
         clients: list[BaseClient],
         metrics: MetricsCollector,
         workload: YcsbWorkload,
+        replica_factory: Optional[Callable[[int], BaseReplica]] = None,
     ):
         self.system = system
         self.loop = loop
@@ -119,6 +120,9 @@ class Cluster:
         self.clients = clients
         self.metrics = metrics
         self.workload = workload
+        # Builds a fresh replica for an index (crash-recovery rejoin).
+        self.replica_factory = replica_factory
+        self.recoveries = 0
 
     def run_until(self, horizon: float) -> None:
         """Advance the simulation to ``horizon`` seconds."""
@@ -127,6 +131,36 @@ class Cluster:
     def crash_replica(self, index: int) -> None:
         """Crash replica ``index`` (processor halted, links severed)."""
         self.replicas[index].crash()
+
+    def recover_replica(self, index: int) -> BaseReplica:
+        """Rejoin crashed replica ``index`` with fresh volatile state.
+
+        Crash-recovery without stable storage: the old incarnation's
+        in-memory state is gone, so a *new* replica object (preloaded
+        initial state machine, view 0, empty log) is attached under the
+        reused address and catches up through the group's regular paths
+        — DECIDED replay while instances are retained, checkpoint/state
+        transfer once it is behind the window.  Recovering a live
+        replica is a no-op (randomized schedules may race their own
+        crashes).
+        """
+        old = self.replicas[index]
+        if not old.halted:
+            return old
+        if self.replica_factory is None:
+            raise ValueError("cluster was built without a replica factory")
+        # Detach purges every trace of the old incarnation from the
+        # fabric (crash marking, partitions, egress backlog, latency
+        # degradation) so the newcomer starts from a clean slate.
+        self.network.detach(old.address)
+        replica = self.replica_factory(index)
+        replica.incarnation = old.incarnation + 1
+        replica.exec_observer = old.exec_observer
+        self.network.attach(replica)
+        self.replicas[index] = replica
+        self.recoveries += 1
+        replica.bootstrap()
+        return replica
 
     def current_leader(self) -> int:
         """Leader index of the highest view among live replicas."""
@@ -224,11 +258,14 @@ def build_cluster(
     metrics = MetricsCollector(window_start, window_end, bucket_width)
     workload = YcsbWorkload(profile.workload)
 
-    replicas: list[BaseReplica] = []
-    for index in range(config.n):
+    def make_replica(index: int) -> BaseReplica:
         state_machine = KeyValueStore(base_execution_cost=profile.execution_cost)
         workload.preload(state_machine)
-        replica = spec.replica_class(index, loop, network, config, state_machine, rng)
+        return spec.replica_class(index, loop, network, config, state_machine, rng)
+
+    replicas: list[BaseReplica] = []
+    for index in range(config.n):
+        replica = make_replica(index)
         network.attach(replica)
         replicas.append(replica)
 
@@ -252,5 +289,14 @@ def build_cluster(
             client.start(at=CLIENT_RAMP * (cid + 1) / clients)
 
     return Cluster(
-        system, loop, rng, network, config, replicas, client_nodes, metrics, workload
+        system,
+        loop,
+        rng,
+        network,
+        config,
+        replicas,
+        client_nodes,
+        metrics,
+        workload,
+        replica_factory=make_replica,
     )

@@ -133,6 +133,9 @@ class ExperimentResult:
     traffic: dict[str, int]
     replica_stats: list[dict[str, float]] = field(default_factory=list)
     metrics: Optional[MetricsCollector] = None
+    # Safety-invariant violations observed by a SafetyChecker; None when
+    # the run was not safety-checked (RunSpec.safety left off).
+    safety_violations: Optional[list[str]] = None
 
     @property
     def latency_ms(self) -> float:

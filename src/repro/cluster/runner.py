@@ -35,6 +35,9 @@ class RunSpec:
     schedule: Optional[LoadSchedule] = None
     bucket_width: float = 0.25
     keep_metrics: bool = False
+    # Attach a SafetyChecker and report invariant violations in the
+    # result (crash/chaos experiments).
+    safety: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup >= self.duration:
@@ -58,13 +61,19 @@ def run_experiment(spec: RunSpec) -> ExperimentResult:
         bucket_width=spec.bucket_width,
         stop_time=spec.duration,
     )
+    checker = None
+    if spec.safety:
+        from repro.cluster.chaos import SafetyChecker
+
+        checker = SafetyChecker()
+        checker.attach(cluster)
     if spec.faults is not None:
         spec.faults.install(cluster)
     cluster.run_until(spec.duration)
-    return collect_result(spec, cluster)
+    return collect_result(spec, cluster, checker)
 
 
-def collect_result(spec: RunSpec, cluster: Cluster) -> ExperimentResult:
+def collect_result(spec: RunSpec, cluster: Cluster, checker=None) -> ExperimentResult:
     """Assemble an :class:`ExperimentResult` from a finished cluster."""
     metrics = cluster.metrics
     return ExperimentResult(
@@ -81,4 +90,9 @@ def collect_result(spec: RunSpec, cluster: Cluster) -> ExperimentResult:
         traffic=cluster.network.traffic.snapshot(),
         replica_stats=cluster.replica_stats(),
         metrics=metrics if spec.keep_metrics else None,
+        # The run stops mid-flight (no drain), so window-deep lag
+        # between live replicas is legitimate; allow double slack.
+        safety_violations=(
+            checker.finish(cluster, lag_slack=2.0) if checker is not None else None
+        ),
     )

@@ -396,12 +396,25 @@ class IdemReplica(BaseReplica):
     # ------------------------------------------------------------------
 
     def _after_state_transfer(self) -> None:
-        # Drop active slots and stored bodies for requests the snapshot
-        # already covers.
-        for rid in [r for r in self.active if self.executed_onr.get(r[0], 0) >= r[1]]:
+        # Drop active slots, stored bodies, leader bookkeeping and
+        # pending fetches for requests the snapshot already covers —
+        # without this a replica that catches up via checkpoint (e.g.
+        # after recovering from a crash) keeps fetching and re-proposing
+        # ids that are long executed.
+        def covered(rid: Rid) -> bool:
+            return self.executed_onr.get(rid[0], 0) >= rid[1]
+
+        for rid in [r for r in self.active if covered(r)]:
             del self.active[rid]
-        for rid in [r for r in self.request_store if self.executed_onr.get(r[0], 0) >= r[1]]:
+        for rid in [r for r in self.request_store if covered(r)]:
             del self.request_store[rid]
+        for rid in [r for r in self.proposed_rids if covered(r)]:
+            del self.proposed_rids[rid]
+        for rid in [r for r in self._fetching if covered(r)]:
+            del self._fetching[rid]
+        for rid in [r for r in self.require_counts if covered(r)]:
+            del self.require_counts[rid]
+            self._require_first_seen.pop(rid, None)
 
     def _after_view_installed(self) -> None:
         """Re-anchor leader bookkeeping and re-require active requests.

@@ -20,7 +20,7 @@ at all until the view change completes and clients fail over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.faults import FaultSchedule
 from repro.cluster.runner import RunSpec, run_experiment
@@ -48,6 +48,8 @@ class TimelineRun:
     pre_latency_ms: float
     post_latency_ms: float
     timeouts: int
+    # Safety-invariant violations observed across the crash (must be empty).
+    safety_violations: list[str] = field(default_factory=list)
 
 
 def measure_timeline(
@@ -74,6 +76,7 @@ def measure_timeline(
         faults=faults,
         keep_metrics=True,
         bucket_width=bucket_width,
+        safety=True,
     )
     result = run_experiment(spec)
     metrics = result.metrics
@@ -105,6 +108,7 @@ def measure_timeline(
         pre_latency_ms=_mean_in(latency_series, 1.0, crash_time),
         post_latency_ms=_mean_in(latency_series, settle, duration),
         timeouts=result.timeouts,
+        safety_violations=result.safety_violations or [],
     )
 
 
@@ -251,4 +255,13 @@ def render(data: Fig10Data) -> str:
         sparks.append(
             f"  {run_.system:11s} {run_.clients:4d}c {run_.target:8s} {spark}"
         )
-    return table_abc + "\n\n" + table_d + "\n" + "\n".join(sparks)
+    all_runs = data.panels_abc + data.panel_d
+    violations = [v for run_ in all_runs for v in run_.safety_violations]
+    if violations:
+        safety = "\nsafety invariants VIOLATED:\n  " + "\n  ".join(violations)
+    else:
+        safety = (
+            f"\nsafety invariants across all {len(all_runs)} crash runs: "
+            "OK (0 violations)"
+        )
+    return table_abc + "\n\n" + table_d + "\n" + "\n".join(sparks) + safety

@@ -10,7 +10,7 @@ longest period without any rejection reaching a client.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cluster.faults import FaultSchedule
 from repro.cluster.runner import RunSpec, run_experiment
@@ -27,6 +27,8 @@ class Fig3Data:
     reject_downtime: float
     pre_crash_reject_rate: float
     post_crash_reject_rate: float
+    # Safety-invariant violations observed across the crash (must be empty).
+    safety_violations: list[str] = field(default_factory=list)
 
 
 def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig3Data:
@@ -43,6 +45,7 @@ def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig3Dat
         faults=FaultSchedule().crash_leader(crash_time),
         keep_metrics=True,
         bucket_width=0.25,
+        safety=True,
     )
     result = run_experiment(spec)
     metrics = result.metrics
@@ -63,6 +66,7 @@ def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig3Dat
         post_crash_reject_rate=metrics.reject_counter.rate_between(
             duration - 1.0, duration
         ),
+        safety_violations=result.safety_violations or [],
     )
 
 
@@ -83,8 +87,15 @@ def render(data: Fig3Data) -> str:
         ["time s", "rejects/s"],
         rows,
     )
+    if data.safety_violations:
+        safety = "safety invariants VIOLATED:\n  " + "\n  ".join(
+            data.safety_violations
+        )
+    else:
+        safety = "safety invariants across the crash: OK (0 violations)"
     return table + (
         f"\n\nreject downtime after the crash: {data.reject_downtime:.2f} s"
         f"\nreject rate before crash: {data.pre_crash_reject_rate:.0f}/s, "
         f"after recovery: {data.post_crash_reject_rate:.0f}/s"
+        f"\n{safety}"
     )

@@ -72,6 +72,10 @@ class Network:
         self._nodes: dict[Address, NetworkNode] = {}
         self._crashed: set[Address] = set()
         self._partitions: set[tuple[Address, Address]] = set()
+        # Gray failures: per-address multiplier applied to the sampled
+        # latency of every message the address sends or receives (a slow
+        # NIC/link rather than a dead one).
+        self._latency_scale: dict[Address, float] = {}
         self.dropped_messages = 0
 
     def attach(self, node: NetworkNode) -> None:
@@ -81,8 +85,21 @@ class Network:
         self._nodes[node.address] = node
 
     def detach(self, address: Address) -> None:
-        """Remove a node from the network."""
+        """Remove a node from the network, purging all per-address state.
+
+        The address may be reused later (a recovered replica re-attaches
+        under the same address), so everything keyed by it — crash
+        marking, egress-link backlog, partitions and latency degradation
+        — must go with the node, or the newcomer would inherit a dead
+        node's fate.
+        """
         self._nodes.pop(address, None)
+        self._crashed.discard(address)
+        self._egress_free_at.pop(address, None)
+        self._latency_scale.pop(address, None)
+        stale = [pair for pair in self._partitions if address in pair]
+        for pair in stale:
+            self._partitions.discard(pair)
 
     def node(self, address: Address) -> NetworkNode:
         """Look up the node attached at ``address``."""
@@ -99,6 +116,27 @@ class Network:
     def is_crashed(self, address: Address) -> bool:
         """Whether the node at ``address`` is currently crashed."""
         return address in self._crashed
+
+    def set_latency_scale(self, address: Address, factor: float) -> None:
+        """Multiply the latency of all traffic to/from ``address`` by ``factor``.
+
+        Models a gray failure: the node is alive but its link is
+        degraded.  A factor of 1.0 clears the degradation.
+        """
+        if factor <= 0:
+            raise ValueError(f"latency scale must be positive, got {factor}")
+        if factor == 1.0:
+            self._latency_scale.pop(address, None)
+        else:
+            self._latency_scale[address] = factor
+
+    def clear_latency_scale(self, address: Address) -> None:
+        """Remove any latency degradation on ``address``.  Idempotent."""
+        self._latency_scale.pop(address, None)
+
+    def latency_scale(self, address: Address) -> float:
+        """The current latency multiplier on ``address`` (1.0 = healthy)."""
+        return self._latency_scale.get(address, 1.0)
 
     def partition(self, a: Address, b: Address) -> None:
         """Block delivery between ``a`` and ``b`` in both directions."""
@@ -133,6 +171,10 @@ class Network:
             self.dropped_messages += 1
             return
         delay = self.latency_model.sample(self._latency_rng)
+        if self._latency_scale:
+            delay *= self._latency_scale.get(src, 1.0) * self._latency_scale.get(
+                dst, 1.0
+            )
         if self.egress_bandwidth is not None:
             delay += self._serialization_delay(src, message.size_bytes())
         self._loop.call_after(delay, self._deliver, src, dst, message)

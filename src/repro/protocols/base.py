@@ -123,6 +123,14 @@ class BaseReplica(NetworkNode):
             jitter_rng=rng.stream(f"replica.{index}.cpu"),
         )
         self.halted = False
+        # Which life of this replica index we are: bumped by
+        # Cluster.recover_replica when a crashed replica rejoins with
+        # fresh volatile state.  Safety checkers key per-incarnation
+        # facts (execution order) by (index, incarnation).
+        self.incarnation = 0
+        # Optional observer called as (replica, sqn, rid) for every
+        # request this replica executes (chaos/safety checking).
+        self.exec_observer: Optional[Callable[["BaseReplica", int, Rid], None]] = None
 
         # View state.
         self.view = 0
@@ -219,6 +227,19 @@ class BaseReplica(NetworkNode):
         self.network.crash(self.address)
         self._progress_timer.stop()
         self._batch_timer.cancel()
+
+    def bootstrap(self) -> None:
+        """Probe the group's state after joining with empty volatile state.
+
+        A recovered replica knows nothing, so it asks every peer for the
+        first instance it is missing.  Peers answer with DECIDED batches
+        while the instance is still retained, or push a checkpoint when
+        the newcomer is behind the window — the same catch-up paths a
+        lagging live replica uses.
+        """
+        for peer in self.peers:
+            self.send(peer, ProposalRequest(self.exec_sqn + 1))
+        self._progress_timer.start()
 
     def deliver(self, src: Address, message: Message) -> None:
         if self.halted:
@@ -456,6 +477,8 @@ class BaseReplica(NetworkNode):
             self.executed_onr[cid] = onr
             self.exec_order_digest = hash((self.exec_order_digest, rid))
             self.stats["executed"] += 1
+            if self.exec_observer is not None:
+                self.exec_observer(self, instance.sqn, rid)
             self._on_executed(rid, request, result)
         instance.executed = True
         self._unexecuted.discard(instance.sqn)

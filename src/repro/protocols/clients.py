@@ -83,6 +83,9 @@ class BaseClient(NetworkNode):
         self.successes = 0
         self.rejections = 0
         self.timeouts = 0
+        # When set (safety checking), every successfully answered rid is
+        # appended so a checker can match replies against executions.
+        self.reply_log: Optional[list[Rid]] = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -159,6 +162,8 @@ class BaseClient(NetworkNode):
         now = self.loop.now
         self.metrics.record_success(now, now - self.send_time)
         self.successes += 1
+        if self.reply_log is not None:
+            self.reply_log.append(self.current_rid)
         self.current_rid = None
         self._schedule_next(self.config.think_time)
 

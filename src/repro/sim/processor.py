@@ -85,6 +85,17 @@ class Processor:
         self._halted = True
         self._queue.clear()
 
+    def set_speed(self, speed: float) -> None:
+        """Change the station's service speed (gray-failure injection).
+
+        Only jobs submitted from now on are affected: already-queued
+        jobs had their service time fixed at submission, matching a CPU
+        whose frequency changes between, not within, scheduled slices.
+        """
+        if speed <= 0:
+            raise ValueError(f"processor speed must be positive, got {speed}")
+        self.speed = speed
+
     def submit(self, cost: float, callback: Callable[..., Any], *args: Any) -> None:
         """Enqueue a job with service time ``cost / speed``.
 

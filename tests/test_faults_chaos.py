@@ -1,0 +1,357 @@
+"""Tests for the fault-plan DSL, crash recovery, and the chaos runner."""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.cluster.chaos import (
+    ChaosOptions,
+    SafetyChecker,
+    generate_plan,
+    run_chaos,
+)
+from repro.cluster.faults import (
+    CrashFault,
+    FaultSchedule,
+    HealFault,
+    LatencySpike,
+    LossWindow,
+    PartitionFault,
+    RecoverFault,
+    SlowReplica,
+    resolve_target,
+)
+from repro.net.addresses import replica_address
+from repro.net.latency import ConstantLatency
+from repro.net.network import Network, NetworkNode
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+
+from tests.conftest import small_profile
+
+
+class TestFaultTargeting:
+    """Regression tests for crash-target resolution edge cases."""
+
+    def test_out_of_range_index_is_ignored(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        assert resolve_target(cluster, 99) is None
+        assert resolve_target(cluster, -1) is None
+
+    def test_out_of_range_crash_fault_fires_without_error(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        FaultSchedule().crash_replica(0.01, 99).install(cluster)
+        cluster.run_until(0.05)  # must not raise
+        assert all(not replica.halted for replica in cluster.replicas)
+
+    def test_leader_target_with_all_replicas_down(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        for index in range(len(cluster.replicas)):
+            cluster.crash_replica(index)
+        assert resolve_target(cluster, "leader") is None
+        assert resolve_target(cluster, "follower") is None
+
+    def test_crashing_an_already_halted_index_is_a_noop(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        cluster.crash_replica(1)
+        assert resolve_target(cluster, 1) is None
+        FaultSchedule().crash_replica(0.01, 1).install(cluster)
+        cluster.run_until(0.05)  # must not raise
+        assert sum(replica.halted for replica in cluster.replicas) == 1
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            CrashFault(-1.0, "leader")
+        with pytest.raises(ValueError):
+            CrashFault(1.0, "bystander")
+        with pytest.raises(ValueError):
+            LossWindow(1.0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            SlowReplica(1.0, 0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            LatencySpike(1.0, 0, 3.0, -0.1)
+
+    def test_schedule_chaining_and_describe(self):
+        schedule = (
+            FaultSchedule()
+            .crash_leader(1.0)
+            .recover_replica(2.0)
+            .partition_replicas(3.0, 0, 1)
+            .heal_replicas(4.0, 0, 1)
+            .loss_window(5.0, 0.5, 0.1)
+            .slow_replica(6.0, 1, 2.0, 0.5)
+            .latency_spike(7.0, 2, 4.0, 0.5)
+        )
+        assert len(schedule.faults) == 7
+        described = schedule.describe()
+        assert described[0].startswith("t=1.000 CrashFault")
+        assert described == sorted(described, key=lambda s: float(s[2:7]))
+
+
+class _Sink(NetworkNode):
+    def __init__(self, address):
+        self.address = address
+        self.received = []
+
+    def deliver(self, src, message):
+        self.received.append((src, message))
+
+
+class _Probe:
+    """Minimal message with the Network's expected interface."""
+
+    def type_name(self):
+        return "probe"
+
+    def size_bytes(self):
+        return 100
+
+
+class TestDetachPurgesState:
+    def _network(self, egress=None):
+        loop = EventLoop()
+        return loop, Network(
+            loop,
+            RngRegistry(0),
+            latency_model=ConstantLatency(0.001),
+            egress_bandwidth=egress,
+        )
+
+    def test_detach_clears_crash_marking(self):
+        loop, network = self._network()
+        a = replica_address(0)
+        network.attach(_Sink(a))
+        network.crash(a)
+        network.detach(a)
+        assert not network.is_crashed(a)
+
+    def test_detach_clears_partitions_and_egress(self):
+        loop, network = self._network(egress=1000.0)
+        a, b = replica_address(0), replica_address(1)
+        network.attach(_Sink(a))
+        network.attach(_Sink(b))
+        network.send(a, b, _Probe())  # queues serialisation backlog on a
+        assert network.egress_backlog(a) > 0
+        network.partition(a, b)
+        network.detach(a)
+        assert network.egress_backlog(a) == 0.0
+        # Re-attach under the same address: the partition must be gone.
+        fresh = _Sink(a)
+        network.attach(fresh)
+        sink_b = network.node(b)
+        network.send(a, b, _Probe())
+        loop.run_until(1.0)
+        # Both the in-flight and the fresh message deliver: detach purged
+        # the partition, so neither is dropped at delivery time.
+        assert len(sink_b.received) == 2
+
+    def test_detach_clears_latency_scale(self):
+        _, network = self._network()
+        a = replica_address(0)
+        network.attach(_Sink(a))
+        network.set_latency_scale(a, 5.0)
+        network.detach(a)
+        assert network.latency_scale(a) == 1.0
+
+
+class TestPartitionHealDelivery:
+    def test_message_in_flight_across_a_heal_is_delivered(self):
+        loop = EventLoop()
+        network = Network(loop, RngRegistry(0), latency_model=ConstantLatency(0.010))
+        a, b = replica_address(0), replica_address(1)
+        sink = _Sink(b)
+        network.attach(_Sink(a))
+        network.attach(sink)
+        network.send(a, b, _Probe())  # arrives at t=10 ms
+        loop.run_until(0.002)
+        network.partition(a, b)  # partition forms mid-flight...
+        loop.run_until(0.005)
+        network.heal(a, b)  # ...and heals before delivery
+        loop.run_until(0.020)
+        assert len(sink.received) == 1
+
+    def test_message_in_flight_into_an_unhealed_partition_is_dropped(self):
+        loop = EventLoop()
+        network = Network(loop, RngRegistry(0), latency_model=ConstantLatency(0.010))
+        a, b = replica_address(0), replica_address(1)
+        sink = _Sink(b)
+        network.attach(_Sink(a))
+        network.attach(sink)
+        network.send(a, b, _Probe())
+        loop.run_until(0.002)
+        network.partition(a, b)
+        loop.run_until(0.020)
+        assert sink.received == []
+        assert network.dropped_messages == 1
+
+
+class TestRecovery:
+    def test_recovered_replica_catches_up(self):
+        cluster = build_cluster(
+            "idem", 4, seed=1, profile=small_profile(), stop_time=2.0
+        )
+        cluster.run_until(0.8)
+        cluster.crash_replica(1)
+        cluster.run_until(1.5)
+        recovered = cluster.recover_replica(1)
+        assert recovered.incarnation == 1
+        assert not cluster.network.is_crashed(recovered.address)
+        cluster.run_until(2.0)
+        cluster.stop_clients()
+        cluster.run_until(3.0)
+        positions = [replica.exec_sqn for replica in cluster.replicas]
+        lag = max(positions) - min(positions)
+        assert lag <= cluster.replicas[0]._lag_threshold()
+        digests = {replica.app.digest() for replica in cluster.replicas}
+        assert len(digests) == 1
+        assert recovered.stats["state_transfers"] >= 1
+
+    def test_recovering_a_live_replica_is_a_noop(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        replica = cluster.replicas[2]
+        assert cluster.recover_replica(2) is replica
+        assert cluster.recoveries == 0
+
+    def test_recover_fault_without_target_recovers_all_crashed(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        cluster.crash_replica(1)
+        RecoverFault(0.0, None).fire(cluster)
+        assert not cluster.replicas[1].halted
+        assert cluster.recoveries == 1
+
+    def test_scheduled_crash_recover_cycle(self):
+        cluster = build_cluster(
+            "paxos", 3, seed=2, profile=small_profile(), stop_time=2.5
+        )
+        schedule = FaultSchedule().crash_leader(0.8).recover_replica(1.6)
+        schedule.install(cluster)
+        cluster.run_until(2.5)
+        cluster.stop_clients()
+        cluster.run_until(4.0)
+        assert all(not replica.halted for replica in cluster.replicas)
+        assert cluster.recoveries == 1
+        digests = {replica.app.digest() for replica in cluster.replicas}
+        assert len(digests) == 1
+
+
+class TestGrayFailures:
+    def test_slow_replica_degrades_and_restores_speed(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        SlowReplica(0.0, 1, 4.0, 0.5).fire(cluster)
+        assert cluster.replicas[1].processor.speed == pytest.approx(0.25)
+        cluster.run_until(0.6)
+        assert cluster.replicas[1].processor.speed == pytest.approx(1.0)
+
+    def test_latency_spike_sets_and_clears_scale(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        address = cluster.replicas[2].address
+        LatencySpike(0.0, 2, 6.0, 0.5).fire(cluster)
+        assert cluster.network.latency_scale(address) == pytest.approx(6.0)
+        cluster.run_until(0.6)
+        assert cluster.network.latency_scale(address) == 1.0
+
+    def test_loss_window_restores_base_probability(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        base = cluster.network.loss_probability
+        LossWindow(0.0, 0.5, 0.2).fire(cluster)
+        assert cluster.network.loss_probability == pytest.approx(0.2)
+        cluster.run_until(0.6)
+        assert cluster.network.loss_probability == pytest.approx(base)
+
+    def test_gray_faults_on_crashed_or_invalid_targets_are_noops(self):
+        cluster = build_cluster("idem", 1, profile=small_profile())
+        cluster.crash_replica(0)
+        SlowReplica(0.0, 0, 4.0, 0.5).fire(cluster)  # halted target
+        SlowReplica(0.0, 99, 4.0, 0.5).fire(cluster)  # out of range
+        LatencySpike(0.0, 99, 4.0, 0.5).fire(cluster)
+        assert cluster.replicas[0].processor.speed == pytest.approx(1.0)
+
+
+class TestSafetyChecker:
+    class _FakeReplica:
+        def __init__(self, index, incarnation=0):
+            self.index = index
+            self.incarnation = incarnation
+
+    def test_detects_divergent_batches(self):
+        checker = SafetyChecker()
+        a, b = self._FakeReplica(0), self._FakeReplica(1)
+        checker._note_execution(a, 1, (1, 1))
+        checker._note_execution(b, 1, (2, 1))
+        checker._check_agreement()
+        assert any("agreement" in v for v in checker.violations)
+
+    def test_detects_double_execution_on_one_incarnation(self):
+        checker = SafetyChecker()
+        a = self._FakeReplica(0)
+        checker._note_execution(a, 1, (1, 1))
+        checker._note_execution(a, 2, (1, 1))
+        assert any("at-most-once" in v for v in checker.violations)
+
+    def test_fresh_incarnation_may_reexecute(self):
+        checker = SafetyChecker()
+        old = self._FakeReplica(0, incarnation=0)
+        new = self._FakeReplica(0, incarnation=1)
+        checker._note_execution(old, 1, (1, 1))
+        checker._note_execution(new, 1, (1, 1))
+        checker._check_agreement()
+        assert checker.violations == []
+
+    def test_detects_rid_under_two_sqns(self):
+        checker = SafetyChecker()
+        a, b = self._FakeReplica(0), self._FakeReplica(1)
+        checker._note_execution(a, 1, (1, 1))
+        checker._note_execution(b, 2, (1, 1))
+        assert any("sqn 1 and sqn 2" in v for v in checker.violations)
+
+    def test_detects_out_of_order_execution(self):
+        checker = SafetyChecker()
+        a = self._FakeReplica(0)
+        checker._note_execution(a, 5, (1, 1))
+        checker._note_execution(a, 3, (2, 1))
+        assert any("order" in v for v in checker.violations)
+
+    def test_detects_unbacked_client_reply(self):
+        class _FakeClient:
+            reply_log = [(9, 9)]
+
+        checker = SafetyChecker()
+        checker._clients = [_FakeClient()]
+        checker._check_replies()
+        assert any("reply validity" in v for v in checker.violations)
+
+
+class TestChaosRunner:
+    def test_plan_generation_is_deterministic_and_self_healing(self):
+        plan_a = generate_plan(5, 12.0, 3)
+        plan_b = generate_plan(5, 12.0, 3)
+        assert plan_a.describe() == plan_b.describe()
+        crashes = sum(isinstance(f, CrashFault) for f in plan_a.faults)
+        recovers = sum(isinstance(f, RecoverFault) for f in plan_a.faults)
+        partitions = sum(isinstance(f, PartitionFault) for f in plan_a.faults)
+        heals = sum(isinstance(f, HealFault) for f in plan_a.faults)
+        assert crashes == recovers
+        assert partitions == heals
+        # Nothing fires in the settle tail.
+        horizon = 12.0 - 3.0
+        assert all(fault.time <= horizon for fault in plan_a.faults)
+
+    def test_chaos_run_is_deterministic(self):
+        options = ChaosOptions(system="idem", clients=4, duration=6.0, seed=11)
+        first = run_chaos(options).summary()
+        second = run_chaos(options).summary()
+        assert first == second
+
+    def test_chaos_run_holds_invariants_and_recovers(self):
+        # Seed chosen so the plan includes a crash + recovery.
+        report = run_chaos(
+            ChaosOptions(system="idem", clients=5, duration=8.0, seed=3)
+        )
+        assert report.ok, report.violations
+        assert report.recoveries >= 1
+        assert report.executions > 0
+        assert len(set(report.app_digests)) == 1
+        assert "safety: OK (0 violations)" in report.summary()
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            ChaosOptions(duration=2.0, warmup=1.0, settle=3.0)
