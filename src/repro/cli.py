@@ -29,7 +29,8 @@ def main(argv: list[str] | None = None) -> int:
         default="all",
         help=(
             "experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10), "
-            "'all', or 'chaos' for a randomized fault-injection run"
+            "'all', 'chaos' for a randomized fault-injection run, or 'trace' "
+            "for a traced run with request-lifecycle analysis"
         ),
     )
     parser.add_argument(
@@ -60,17 +61,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--protocol",
         default="idem",
-        help="system to run the chaos campaign against (chaos only)",
+        help="system to run against (chaos and trace only)",
     )
     parser.add_argument(
         "--clients",
         type=int,
         default=20,
-        help="closed-loop clients driving the chaos run (chaos only)",
+        help="closed-loop clients driving the run (chaos and trace only)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default="traces",
+        help="directory for trace exports (trace only; default: traces/)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many slowest requests to break down (trace only)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "chaos":
         return run_chaos_command(args)
+    if args.experiment == "trace":
+        return run_trace_command(args)
     if args.runs is not None:
         os.environ["REPRO_RUNS"] = str(args.runs)
     if args.duration is not None:
@@ -125,6 +140,49 @@ def run_chaos_command(args) -> int:
         return 2
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def run_trace_command(args) -> int:
+    """Run one traced scenario and emit/summarise its traces.
+
+    Writes a JSONL event log and a Chrome trace-event JSON (loadable in
+    Perfetto / ``chrome://tracing``) into ``--out``, then prints the
+    top-K slowest requests with per-hop latency breakdowns and the
+    reject-reason histogram.  The traced run is byte-identical to an
+    untraced run of the same spec (the observer-only invariant).
+    """
+    from repro.cluster.runner import RunSpec, run_experiment
+    from repro.obs import render_report, write_chrome_trace, write_jsonl
+
+    duration = args.duration if args.duration is not None else 1.0
+    try:
+        spec = RunSpec(
+            system=args.protocol,
+            clients=args.clients,
+            duration=duration,
+            warmup=min(0.3, duration * 0.3),
+            seed=args.seed,
+            observe=True,
+        )
+        result = run_experiment(spec)
+    except ValueError as error:  # unknown system, bad duration, ...
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    hub = result.obs
+    os.makedirs(args.out, exist_ok=True)
+    base = f"{args.protocol}-seed{args.seed}"
+    jsonl_path = os.path.join(args.out, f"{base}.jsonl")
+    chrome_path = os.path.join(args.out, f"{base}.trace.json")
+    with open(jsonl_path, "w") as stream:
+        lines = write_jsonl(hub.tracer, stream)
+    with open(chrome_path, "w") as stream:
+        events = write_chrome_trace(hub.tracer, stream, hub.registry)
+    print(result.describe())
+    print(f"[{lines} events -> {jsonl_path}]")
+    print(f"[{events} Chrome trace events -> {chrome_path}]")
+    print()
+    print(render_report(hub.tracer, hub.registry, k=args.top))
+    return 0
 
 
 if __name__ == "__main__":

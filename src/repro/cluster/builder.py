@@ -123,6 +123,9 @@ class Cluster:
         # Builds a fresh replica for an index (crash-recovery rejoin).
         self.replica_factory = replica_factory
         self.recoveries = 0
+        # Set by ObservabilityHub.attach (repro.obs); None when tracing
+        # is disabled, which keeps the per-hook cost to one None check.
+        self.observability = None
 
     def run_until(self, horizon: float) -> None:
         """Advance the simulation to ``horizon`` seconds."""
@@ -156,6 +159,8 @@ class Cluster:
         replica = self.replica_factory(index)
         replica.incarnation = old.incarnation + 1
         replica.exec_observer = old.exec_observer
+        if self.observability is not None:
+            self.observability.attach_replica(replica)
         self.network.attach(replica)
         self.replicas[index] = replica
         self.recoveries += 1

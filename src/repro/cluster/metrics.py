@@ -136,6 +136,10 @@ class ExperimentResult:
     # Safety-invariant violations observed by a SafetyChecker; None when
     # the run was not safety-checked (RunSpec.safety left off).
     safety_violations: Optional[list[str]] = None
+    # The ObservabilityHub of the run (repro.obs) when tracing was on.
+    # Kept out of replica_stats so that every field above is identical
+    # with tracing on or off (the observer-only invariant).
+    obs: Optional[object] = None
 
     @property
     def latency_ms(self) -> float:
@@ -152,5 +156,7 @@ class ExperimentResult:
         return (
             f"{self.system}: {self.clients} clients -> "
             f"{self.throughput_kops:.1f}k req/s @ {self.latency_ms:.2f} ms "
-            f"(rejects {self.reject_throughput:.0f}/s)"
+            f"(p99 {self.latency.p99 * 1e3:.2f} ms, "
+            f"p99.9 {self.latency.p999 * 1e3:.2f} ms, "
+            f"rejects {self.reject_throughput:.0f}/s)"
         )

@@ -38,6 +38,11 @@ class RunSpec:
     # Attach a SafetyChecker and report invariant violations in the
     # result (crash/chaos experiments).
     safety: bool = False
+    # Attach an ObservabilityHub (repro.obs): request-lifecycle tracing
+    # plus periodically sampled replica internals.  Observer-only — a
+    # seeded run returns byte-identical results with this on or off.
+    observe: bool = False
+    obs_sample_interval: float = 0.01
 
     def __post_init__(self) -> None:
         if self.warmup >= self.duration:
@@ -67,13 +72,23 @@ def run_experiment(spec: RunSpec) -> ExperimentResult:
 
         checker = SafetyChecker()
         checker.attach(cluster)
+    hub = None
+    if spec.observe:
+        from repro.obs import ObservabilityHub
+
+        hub = ObservabilityHub(sample_interval=spec.obs_sample_interval)
+        hub.attach(cluster, horizon=spec.duration)
+        if spec.faults is not None:
+            hub.annotate_faults(spec.faults, spec.duration)
     if spec.faults is not None:
         spec.faults.install(cluster)
     cluster.run_until(spec.duration)
-    return collect_result(spec, cluster, checker)
+    return collect_result(spec, cluster, checker, hub)
 
 
-def collect_result(spec: RunSpec, cluster: Cluster, checker=None) -> ExperimentResult:
+def collect_result(
+    spec: RunSpec, cluster: Cluster, checker=None, hub=None
+) -> ExperimentResult:
     """Assemble an :class:`ExperimentResult` from a finished cluster."""
     metrics = cluster.metrics
     return ExperimentResult(
@@ -95,4 +110,5 @@ def collect_result(spec: RunSpec, cluster: Cluster, checker=None) -> ExperimentR
         safety_violations=(
             checker.finish(cluster, lag_slack=2.0) if checker is not None else None
         ),
+        obs=hub,
     )

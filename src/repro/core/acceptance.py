@@ -29,6 +29,11 @@ from repro.sim.rng import request_hash_unit
 class AcceptanceTest(ABC):
     """Decides whether a replica accepts a fresh client request."""
 
+    # Why the most recent decision came out the way it did; updated on
+    # every accept() call whether anyone reads it or not, so observing
+    # it (repro.obs) cannot change behaviour.
+    last_reason: str = "accepted"
+
     @abstractmethod
     def accept(
         self,
@@ -92,7 +97,9 @@ class TailDrop(AcceptanceTest):
         active_count: int,
         command: Optional[Command] = None,
     ) -> bool:
-        return active_count < self.threshold
+        decision = active_count < self.threshold
+        self.last_reason = "accepted" if decision else "queue-full"
+        return decision
 
 
 class AqmPriorityTest(AcceptanceTest):
@@ -143,19 +150,24 @@ class AqmPriorityTest(AcceptanceTest):
         command: Optional[Command] = None,
     ) -> bool:
         if active_count >= self.threshold:
+            self.last_reason = "queue-full"
             return False  # full: tail drop applies to everyone
         cid, onr = rid
         group = self.group_of(cid)
         if group >= self._group_count:
             self._group_count = group + 1
         if group == self.prioritized_group(now):
+            self.last_reason = "accepted"
             return True  # prioritised clients are only subject to tail drop
         fraction = active_count / self.threshold
         if fraction < self.start_fraction:
+            self.last_reason = "accepted"
             return True
         # Shared coin: the same request id yields the same draw on every
         # replica, nudging the group toward a unanimous decision.
-        return request_hash_unit(cid, onr, self.salt) >= fraction
+        decision = request_hash_unit(cid, onr, self.salt) >= fraction
+        self.last_reason = "accepted" if decision else "aqm-early"
+        return decision
 
 
 class PriorityClassTest(AcceptanceTest):
@@ -200,17 +212,22 @@ class PriorityClassTest(AcceptanceTest):
         command: Optional[Command] = None,
     ) -> bool:
         if active_count >= self.threshold:
+            self.last_reason = "queue-full"
             return False
         fraction = active_count / self.threshold
         start = self.start_fractions.get(self.class_of(rid, command), 1.0)
         if fraction < start:
+            self.last_reason = "accepted"
             return True
         if start >= 1.0:
+            self.last_reason = "accepted"
             return True
         # Rejection probability ramps from 0 at the start fraction to 1
         # at full load; the shared coin keeps replicas aligned.
         probability = (fraction - start) / (1.0 - start)
-        return request_hash_unit(rid[0], rid[1], self.salt) >= probability
+        decision = request_hash_unit(rid[0], rid[1], self.salt) >= probability
+        self.last_reason = "accepted" if decision else "priority-early"
+        return decision
 
 
 class CostAwareTest(AcceptanceTest):
@@ -252,16 +269,20 @@ class CostAwareTest(AcceptanceTest):
     ) -> bool:
         cost = max(1.0, self.cost_of(command))
         if active_count + cost > self.threshold:
+            self.last_reason = "cost-overflow"
             return False  # would overflow the remaining capacity
         fraction = active_count / self.threshold
         if cost <= 1.0 or fraction < self.early_fraction:
+            self.last_reason = "accepted"
             return True
         # The more expensive the request and the fuller the replica,
         # the more likely an early rejection (1 at full load for an
         # infinitely expensive request).
         pressure = (fraction - self.early_fraction) / (1.0 - self.early_fraction)
         probability = pressure * (1.0 - 1.0 / cost)
-        return request_hash_unit(rid[0], rid[1], self.salt) >= probability
+        decision = request_hash_unit(rid[0], rid[1], self.salt) >= probability
+        self.last_reason = "accepted" if decision else "cost-early"
+        return decision
 
 
 class AdaptiveThreshold(AcceptanceTest):
@@ -328,6 +349,11 @@ class AdaptiveThreshold(AcceptanceTest):
     def threshold(self) -> int:
         """The currently effective threshold (lives on the inner test)."""
         return self.inner.threshold
+
+    @property
+    def last_reason(self) -> str:
+        """Reason of the inner test's most recent decision."""
+        return self.inner.last_reason
 
     def threshold_hint(self) -> Optional[int]:
         return self._controlled

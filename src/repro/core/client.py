@@ -68,6 +68,8 @@ class IdemClient(BaseClient):
         self.metrics.note_reject_message(self.loop.now)
         if message.rid != self.current_rid:
             return
+        if self.obs is not None:
+            self.obs.on_reject_recv(message.rid, src.index)
         self._rejecting_replicas.add(src.index)
         count = len(self._rejecting_replicas)
         config = self.config

@@ -131,9 +131,20 @@ class IdemReplica(BaseReplica):
         if self.acceptance.accept(
             rid, self.loop.now, len(self.active), message.command
         ):
+            if self.obs is not None:
+                self.obs.on_accept(
+                    rid, len(self.active), getattr(self.acceptance, "threshold", None)
+                )
             self._accept_request(message)
         else:
             self.stats["rejected"] += 1
+            if self.obs is not None:
+                self.obs.on_reject(
+                    rid,
+                    len(self.active),
+                    getattr(self.acceptance, "threshold", None),
+                    self.acceptance.last_reason,
+                )
             self._cache_rejected(message)
             self.send(src, Reject(rid))
 
@@ -242,6 +253,8 @@ class IdemReplica(BaseReplica):
             for rid in batch:
                 self.proposed_rids[rid] = sqn
             self._open_instance(sqn, self.view, batch)
+            if self.obs is not None:
+                self.obs.on_propose(self.view, sqn, batch)
             self.multicast_peers(Propose(self.view, sqn, batch, hint))
             self.stats["proposals"] += 1
         if self._propose_queue and not self._batch_timer.running:
@@ -295,6 +308,8 @@ class IdemReplica(BaseReplica):
                 continue
             self._fetching[rid] = now
             self.stats["fetches"] += 1
+            if self.obs is not None:
+                self.obs.on_fetch(rid)
             self.multicast_peers(Fetch(rid))
 
     def _on_fetch(self, src: Address, message: Fetch) -> None:
@@ -313,6 +328,8 @@ class IdemReplica(BaseReplica):
             return
         self._fetching.pop(rid, None)
         self.rejected_cache.pop(rid, None)
+        if self.obs is not None:
+            self.obs.on_adopt(rid)
         # Forwarded requests are accepted regardless of the current load
         # (Section 4.3); this may temporarily exceed the threshold.
         self._accept_request(request)
@@ -332,6 +349,8 @@ class IdemReplica(BaseReplica):
         for entry in stale:
             entry.forwarded = True
             self.stats["forwards"] += 1
+            if self.obs is not None:
+                self.obs.on_forward(entry.request.rid)
             self.multicast_peers(Forward(entry.request))
         # Prune require bookkeeping for ids that never reached a quorum
         # (e.g. the client aborted and every other replica rejected).

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.net.addresses import Address
 from repro.net.latency import LatencyModel, LogNormalLatency
 from repro.net.message import Message
+from repro.net.trace import message_rids
 from repro.net.traffic import TrafficMeter
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RngRegistry
@@ -159,7 +160,12 @@ class Network:
         self.traffic.record(src, dst, message.type_name(), message.size_bytes())
         if self.tracer is not None:
             self.tracer.record(
-                self._loop.now, src, dst, message.type_name(), message.size_bytes()
+                self._loop.now,
+                src,
+                dst,
+                message.type_name(),
+                message.size_bytes(),
+                message_rids(message),
             )
         if dst in self._crashed or dst not in self._nodes:
             self.dropped_messages += 1

@@ -23,6 +23,30 @@ class TraceRecord(NamedTuple):
     dst: Address
     type_name: str
     size: int
+    # Request ids the message carries (empty for protocol-internal
+    # messages like COMMIT); lets analyses follow one request's wires.
+    rids: tuple = ()
+
+
+def message_rids(message) -> tuple:
+    """The request ids a wire message carries, duck-typed.
+
+    Covers single-rid messages (REQUEST, REPLY, REJECT, FETCH), batch
+    messages exposing ``rids`` (REQUIRE, PROPOSE, DECIDED) and wrapped
+    requests (FORWARD).
+    """
+    rid = getattr(message, "rid", None)
+    if rid is not None:
+        return (rid,)
+    rids = getattr(message, "rids", None)
+    if rids:
+        return tuple(rids)
+    request = getattr(message, "request", None)
+    if request is not None:
+        rid = getattr(request, "rid", None)
+        if rid is not None:
+            return (rid,)
+    return ()
 
 
 @dataclass
@@ -66,9 +90,17 @@ class MessageTracer:
         self.records: list[TraceRecord] = []
         self.truncated = 0
 
-    def record(self, time: float, src: Address, dst: Address, type_name: str, size: int) -> None:
+    def record(
+        self,
+        time: float,
+        src: Address,
+        dst: Address,
+        type_name: str,
+        size: int,
+        rids: tuple = (),
+    ) -> None:
         """Called by the network for every sent message."""
-        entry = TraceRecord(time, src, dst, type_name, size)
+        entry = TraceRecord(time, src, dst, type_name, size, rids)
         if not self.filter.matches(entry):
             return
         if len(self.records) >= self.max_records:
@@ -96,10 +128,18 @@ class MessageTracer:
             if {record.src, record.dst} == {a, b}
         ]
 
-    def conversation(self, rid_filter: Iterable[str] = ()) -> str:
-        """A human-readable rendering of the trace (message sequence)."""
+    def conversation(self, rid_filter: Iterable = ()) -> str:
+        """A human-readable rendering of the trace (message sequence).
+
+        ``rid_filter`` restricts the rendering to messages carrying one
+        of the given request ids; entries may be rid tuples or their
+        string renderings.  Empty means "every message".
+        """
+        wanted = {item if isinstance(item, str) else str(item) for item in rid_filter}
         lines = []
         for record in self.records:
+            if wanted and not any(str(rid) in wanted for rid in record.rids):
+                continue
             lines.append(
                 f"{record.time * 1e3:10.3f} ms  {str(record.src):>11s} -> "
                 f"{str(record.dst):<11s} {record.type_name:<14s} {record.size:>6d} B"

@@ -1,0 +1,41 @@
+"""Deterministic sim-time observability: metrics, lifecycle spans, exporters.
+
+See ``docs/OBSERVABILITY.md`` for the span model and usage examples.
+"""
+
+from repro.obs.analysis import (
+    RequestBreakdown,
+    build_breakdowns,
+    reject_reason_histogram,
+    render_report,
+    top_slowest,
+)
+from repro.obs.export import chrome_trace_events, write_chrome_trace, write_jsonl
+from repro.obs.hub import ObservabilityHub
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    ClientObserver,
+    ReplicaObserver,
+    RequestTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "ClientObserver",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityHub",
+    "ReplicaObserver",
+    "RequestBreakdown",
+    "RequestTracer",
+    "TraceEvent",
+    "build_breakdowns",
+    "chrome_trace_events",
+    "reject_reason_histogram",
+    "render_report",
+    "top_slowest",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,133 @@
+"""The observability hub: one object wiring metrics + spans into a cluster.
+
+Attach a hub to a built (not yet run) cluster and every replica and
+client gets an observer facade (``node.obs``); the hub optionally drives
+a periodic sampler for replica internals (queue depth, busy fraction,
+acceptance-buffer occupancy) and annotates fault windows from a
+:class:`~repro.cluster.faults.FaultSchedule` into the trace.
+
+Observer-only contract: the sampler schedules pure *read* callbacks on
+the event loop.  Scheduling extra events shifts the loop's internal
+sequence numbers, but never the relative order of simulation events
+(ties between simulation events keep their original scheduling order),
+and the callbacks touch no protocol state and no RNG stream — so a run
+with a hub attached produces byte-identical results to one without.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import FAULT, ClientObserver, ReplicaObserver, RequestTracer
+
+
+class ObservabilityHub:
+    """Bundles a tracer and a registry and wires them into a cluster."""
+
+    def __init__(
+        self,
+        sample_interval: float = 0.01,
+        max_events: int = 2_000_000,
+    ):
+        if sample_interval <= 0:
+            raise ValueError(
+                f"sample interval must be positive, got {sample_interval}"
+            )
+        self.sample_interval = sample_interval
+        self.tracer = RequestTracer(max_events=max_events)
+        self.registry = MetricsRegistry()
+        self.cluster = None
+        self._sampling_until = -math.inf
+
+    def attach(self, cluster, horizon: Optional[float] = None) -> "ObservabilityHub":
+        """Wire observers into every node of ``cluster``.
+
+        ``horizon`` bounds the periodic sampler (pass the run duration);
+        with ``None`` no sampling events are scheduled and only
+        event-driven instrumentation records.
+        """
+        self.cluster = cluster
+        cluster.observability = self
+        for replica in cluster.replicas:
+            self.attach_replica(replica)
+        for client in cluster.clients:
+            client.obs = ClientObserver(self.tracer, self.registry, client)
+        if horizon is not None:
+            self._sampling_until = horizon
+            cluster.loop.call_after(self.sample_interval, self._sample_tick)
+        return self
+
+    def attach_replica(self, replica) -> None:
+        """Attach a fresh observer to ``replica`` (also used on recovery)."""
+        replica.obs = ReplicaObserver(self.tracer, self.registry, replica)
+
+    def _sample_tick(self) -> None:
+        cluster = self.cluster
+        for replica in cluster.replicas:
+            observer = replica.obs
+            if observer is not None:
+                observer.sample(self.sample_interval)
+        next_time = cluster.loop.now + self.sample_interval
+        if next_time <= self._sampling_until:
+            cluster.loop.call_after(self.sample_interval, self._sample_tick)
+
+    # -- fault-window annotation --------------------------------------
+
+    def annotate_faults(self, schedule, horizon: float) -> None:
+        """Record each fault of ``schedule`` as a window in the trace.
+
+        Crashes extend to the matching recovery (or the horizon),
+        partitions to the matching heal; duration-bearing faults carry
+        their own end.  Windows land on the synthetic ``faults`` node.
+        """
+        from repro.cluster.faults import (
+            CrashFault,
+            HealFault,
+            LatencySpike,
+            LossWindow,
+            PartitionFault,
+            RecoverFault,
+            SlowReplica,
+        )
+
+        faults = sorted(schedule.faults, key=lambda fault: fault.time)
+        for position, fault in enumerate(faults):
+            label = None
+            end = fault.time
+            if isinstance(fault, CrashFault):
+                label = f"crash {fault.target}"
+                end = horizon
+                for later in faults[position + 1:]:
+                    if isinstance(later, RecoverFault) and (
+                        later.target is None or later.target == fault.target
+                    ):
+                        end = later.time
+                        break
+            elif isinstance(fault, PartitionFault):
+                label = f"partition {fault.a}<->{fault.b}"
+                end = horizon
+                for later in faults[position + 1:]:
+                    if isinstance(later, HealFault) and {later.a, later.b} == {
+                        fault.a, fault.b,
+                    }:
+                        end = later.time
+                        break
+            elif isinstance(fault, LossWindow):
+                label = f"loss p={fault.probability:.2f}"
+                end = fault.time + fault.duration
+            elif isinstance(fault, SlowReplica):
+                label = f"slow replica-{fault.target} x{fault.factor:.1f}"
+                end = fault.time + fault.duration
+            elif isinstance(fault, LatencySpike):
+                label = f"latency spike replica-{fault.target} x{fault.factor:.1f}"
+                end = fault.time + fault.duration
+            elif isinstance(fault, RecoverFault):
+                continue  # represented as the end of its crash window
+            else:
+                label = fault.describe()
+            self.tracer.emit(
+                fault.time, "faults", FAULT, None,
+                {"label": label, "begin": fault.time, "end": min(end, horizon)},
+            )

@@ -131,6 +131,9 @@ class BaseReplica(NetworkNode):
         # Optional observer called as (replica, sqn, rid) for every
         # request this replica executes (chaos/safety checking).
         self.exec_observer: Optional[Callable[["BaseReplica", int, Rid], None]] = None
+        # Optional observability facade (repro.obs.ReplicaObserver).
+        # Observer-only: hooks read state but never influence the run.
+        self.obs: Optional[Any] = None
 
         # View state.
         self.view = 0
@@ -244,7 +247,11 @@ class BaseReplica(NetworkNode):
     def deliver(self, src: Address, message: Message) -> None:
         if self.halted:
             return
-        self.processor.submit(self._receive_cost(message), self._dispatch, src, message)
+        cost = self._receive_cost(message)
+        if self.obs is not None:
+            rid = message.rid if type(message) is Request else None
+            self.obs.on_deliver(message.type_name(), cost, rid)
+        self.processor.submit(cost, self._dispatch, src, message)
 
     def _receive_cost(self, message: Message) -> float:
         config = self.config
@@ -387,6 +394,8 @@ class BaseReplica(NetworkNode):
         if not self._progress_timer.running:
             self._progress_timer.start()
         if instance.committed(self.config.quorum):
+            if self.obs is not None:
+                self.obs.on_quorum(instance)
             self._try_execute()
         return instance
 
@@ -407,6 +416,8 @@ class BaseReplica(NetworkNode):
         instance.commits.add(src.index)
         self._advance_window(message.sqn)
         if instance.committed(self.config.quorum):
+            if self.obs is not None:
+                self.obs.on_quorum(instance)
             self._try_execute()
 
     # ------------------------------------------------------------------
@@ -456,6 +467,8 @@ class BaseReplica(NetworkNode):
             self.app.execution_cost(request.command) for _, request in bodies
         )
         self._exec_scheduled = True
+        if self.obs is not None:
+            self.obs.on_exec_scheduled(instance.sqn, cost, len(bodies))
         self.processor.submit(cost, self._apply_instance, instance, bodies)
 
     def _apply_instance(
@@ -479,7 +492,11 @@ class BaseReplica(NetworkNode):
             self.stats["executed"] += 1
             if self.exec_observer is not None:
                 self.exec_observer(self, instance.sqn, rid)
+            if self.obs is not None:
+                self.obs.on_execute(instance.sqn, rid)
             self._on_executed(rid, request, result)
+        if self.obs is not None:
+            self.obs.on_exec_done(instance.sqn)
         instance.executed = True
         self._unexecuted.discard(instance.sqn)
         self.exec_sqn = instance.sqn
@@ -508,6 +525,8 @@ class BaseReplica(NetworkNode):
         """Cache and actively send the REPLY for an executed request."""
         reply = self._record_reply(rid, result)
         self.stats["replies_sent"] += 1
+        if self.obs is not None:
+            self.obs.on_reply(rid)
         self.send(client_address(rid[0]), reply)
 
     def _note_progress(self) -> None:
@@ -619,6 +638,8 @@ class BaseReplica(NetworkNode):
             for request in message.requests:
                 bodies[request.rid] = request
             instance.bodies = bodies
+        if self.obs is not None:
+            self.obs.on_quorum(instance)
         self._try_execute()
         # Receiving decided instances is progress: postpone suspecting
         # the leader while catch-up is flowing, and immediately ask for
@@ -705,6 +726,8 @@ class BaseReplica(NetworkNode):
             return
         self._vc_target = target_view
         self.stats["view_changes"] += 1
+        if self.obs is not None:
+            self.obs.on_vc_start(target_view)
         # Carry ALL retained instances, executed ones included: any slot
         # that might have committed anywhere has, by quorum
         # intersection, an entry in at least one of the f+1 VIEWCHANGE
@@ -771,6 +794,8 @@ class BaseReplica(NetworkNode):
         self.next_sqn = next_sqn
         for entry in relevant:
             self._install_entry(entry, target_view)
+        if self.obs is not None:
+            self.obs.on_newview(target_view, len(relevant))
         self.multicast_peers(NewView(target_view, tuple(relevant), next_sqn))
         self._after_view_installed()
         self._try_execute()
@@ -799,12 +824,16 @@ class BaseReplica(NetworkNode):
             if instance is None or instance.executed:
                 continue
             instance.commits.add(src.index)
+            if self.obs is not None and instance.committed(self.config.quorum):
+                self.obs.on_quorum(instance)
         self._try_execute()
 
     def _enter_view(self, view: int) -> None:
         """Adopt ``view``: reset view-change state and timers."""
         self.view = view
         self._vc_target = None
+        if self.obs is not None:
+            self.obs.on_view_installed(view)
         for target in [t for t in self._vc_msgs if t <= view]:
             del self._vc_msgs[target]
         self._batch_timer.cancel()

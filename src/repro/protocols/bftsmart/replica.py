@@ -42,6 +42,8 @@ class BftSmartReplica(BaseReplica):
             return
         if rid in self.pool:
             return
+        if self.obs is not None:
+            self.obs.on_accept(rid, len(self.pool), None)
         self.pool[rid] = message
         self.stats["accepted"] += 1
         if self.is_leader and self._vc_target is None:
@@ -61,6 +63,8 @@ class BftSmartReplica(BaseReplica):
             rids = tuple(request.rid for request in batch)
             instance = self._open_instance(sqn, self.view, rids)
             instance.bodies = {request.rid: request for request in batch}
+            if self.obs is not None:
+                self.obs.on_propose(self.view, sqn, rids)
             self.multicast_peers(ProposeFull(self.view, sqn, batch))
             self.stats["proposals"] += 1
         if self._propose_queue and not self._batch_timer.running:

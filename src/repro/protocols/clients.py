@@ -86,6 +86,8 @@ class BaseClient(NetworkNode):
         # When set (safety checking), every successfully answered rid is
         # appended so a checker can match replies against executions.
         self.reply_log: Optional[list[Rid]] = None
+        # Optional observability facade (repro.obs.ClientObserver).
+        self.obs = None
 
     # -- lifecycle -----------------------------------------------------
 
@@ -114,6 +116,8 @@ class BaseClient(NetworkNode):
         self.current_command = self.workload.next_command(self._ops_rng)
         self.send_time = self.loop.now
         self._reset_operation_state()
+        if self.obs is not None:
+            self.obs.on_send(self.current_rid)
         self._send_request(Request(self.current_rid, self.current_command))
         self._request_timer.start(self.config.request_timeout)
         if self.retransmit_enabled:
@@ -135,6 +139,8 @@ class BaseClient(NetworkNode):
         """Resend the pending request over the fair-loss links."""
         if self.stopped or self.current_rid is None:
             return
+        if self.obs is not None:
+            self.obs.on_send(self.current_rid, retransmit=True)
         self._send_request(Request(self.current_rid, self.current_command))
         self._retransmit_timer.start(self.config.retransmit_interval)
 
@@ -164,6 +170,8 @@ class BaseClient(NetworkNode):
         self.successes += 1
         if self.reply_log is not None:
             self.reply_log.append(self.current_rid)
+        if self.obs is not None:
+            self.obs.on_outcome(self.current_rid, "success", now - self.send_time)
         self.current_rid = None
         self._schedule_next(self.config.think_time)
 
@@ -174,6 +182,8 @@ class BaseClient(NetworkNode):
         now = self.loop.now
         self.metrics.record_reject(now, now - self.send_time)
         self.rejections += 1
+        if self.obs is not None:
+            self.obs.on_outcome(self.current_rid, "rejected", now - self.send_time)
         self.current_rid = None
         if self.fallback is not None:
             self.fallback(self.current_command)
@@ -187,6 +197,8 @@ class BaseClient(NetworkNode):
         now = self.loop.now
         self.metrics.record_timeout(now)
         self.timeouts += 1
+        if self.obs is not None and self.current_rid is not None:
+            self.obs.on_outcome(self.current_rid, "timeout", now - self.send_time)
         self.current_rid = None
         if self.fallback is not None:
             self.fallback(self.current_command)
@@ -219,6 +231,8 @@ class SingleTargetClient(BaseClient):
         if self.current_rid is None or self.stopped:
             return
         self.presumed_leader = (self.presumed_leader + 1) % self.config.n
+        if self.obs is not None:
+            self.obs.on_send(self.current_rid, retransmit=True)
         self.network.send(
             self.address,
             replica_address(self.presumed_leader),

@@ -67,18 +67,29 @@ class PaxosReplica(BaseReplica):
             if rid not in self.relayed:
                 self.relayed[rid] = message
                 if not self._vc_target:
+                    if self.obs is not None:
+                        self.obs.on_forward(rid)
                     self.send(self.leader_address, message)
                 if not self._progress_timer.running:
                     self._progress_timer.start()
             return
         if rid in self.outstanding:
             return  # duplicate of an admitted request
+        threshold = (
+            self.config.reject_threshold if self.config.leader_rejection else None
+        )
         if self.config.leader_rejection and (
             len(self.outstanding) >= self.config.reject_threshold
         ):
             self.stats["rejected"] += 1
+            if self.obs is not None:
+                self.obs.on_reject(
+                    rid, len(self.outstanding), threshold, "leader-threshold"
+                )
             self.send(src, Reject(rid))
             return
+        if self.obs is not None:
+            self.obs.on_accept(rid, len(self.outstanding), threshold)
         self.outstanding[rid] = message
         self.stats["accepted"] += 1
         self._queue_proposal(message)
@@ -101,6 +112,8 @@ class PaxosReplica(BaseReplica):
             rids = tuple(request.rid for request in batch)
             instance = self._open_instance(sqn, self.view, rids)
             instance.bodies = {request.rid: request for request in batch}
+            if self.obs is not None:
+                self.obs.on_propose(self.view, sqn, rids)
             self.multicast_peers(ProposeFull(self.view, sqn, batch))
             self.stats["proposals"] += 1
         if self._propose_queue and not self._batch_timer.running:

@@ -7,7 +7,6 @@ what the paper's benchmark produced.
 
 from __future__ import annotations
 
-import math
 import random
 from abc import ABC, abstractmethod
 

@@ -1,0 +1,81 @@
+"""Edge cases of MetricsCollector's bucketed timelines and windows.
+
+Timelines feed the crash plots (Figure 10); the subtle cases are samples
+landing exactly on bucket boundaries, buckets with no samples, and
+events outside the measurement window.
+"""
+
+import pytest
+
+from repro.cluster.metrics import MetricsCollector
+
+
+class TestTimelineBuckets:
+    def test_sample_on_bucket_boundary(self):
+        collector = MetricsCollector(bucket_width=0.25)
+        collector.record_success(0.25, latency=0.010)
+        timeline = collector.latency_timeline()
+        assert timeline == [(0.25, pytest.approx(0.010))]
+
+    def test_empty_buckets_are_skipped(self):
+        collector = MetricsCollector(bucket_width=0.25)
+        collector.record_success(0.0, latency=0.010)
+        collector.record_success(1.0, latency=0.030)
+        timeline = collector.latency_timeline()
+        assert [time for time, _mean in timeline] == [0.0, 1.0]
+
+    def test_bucket_means_average_their_samples(self):
+        collector = MetricsCollector(bucket_width=0.5)
+        collector.record_success(0.6, latency=0.010)
+        collector.record_success(0.9, latency=0.030)
+        timeline = collector.latency_timeline()
+        assert timeline == [(0.5, pytest.approx(0.020))]
+
+    def test_reject_timeline_is_independent(self):
+        collector = MetricsCollector(bucket_width=0.25)
+        collector.record_success(0.1, latency=0.010)
+        collector.record_reject(0.6, latency=0.002)
+        assert [time for time, _ in collector.latency_timeline()] == [0.0]
+        assert [time for time, _ in collector.reject_latency_timeline()] == [0.5]
+
+
+class TestMeasurementWindow:
+    def test_reject_before_window_start_excluded_from_summary(self):
+        collector = MetricsCollector(window_start=0.5, window_end=2.0)
+        collector.record_reject(0.1, latency=0.002)
+        collector.record_reject(1.0, latency=0.004)
+        summary = collector.reject_latency_summary()
+        assert summary.count == 1
+        assert summary.mean == pytest.approx(0.004)
+
+    def test_early_reject_still_marks_first_reject_time(self):
+        collector = MetricsCollector(window_start=0.5)
+        collector.record_reject(0.1, latency=0.002)
+        assert collector.first_reject_time == 0.1
+
+    def test_early_reject_still_lands_in_timeline(self):
+        # Timelines cover the whole run (warm-up included) — the crash
+        # plots need them even where the summary window excludes samples.
+        collector = MetricsCollector(window_start=0.5, bucket_width=0.25)
+        collector.record_reject(0.1, latency=0.002)
+        assert collector.reject_latency_timeline() == [(0.0, pytest.approx(0.002))]
+
+    def test_window_bounds_throughput(self):
+        collector = MetricsCollector(
+            window_start=1.0, window_end=2.0, bucket_width=0.25
+        )
+        for time in (0.1, 1.1, 1.6, 2.5):
+            collector.record_success(time, latency=0.01)
+        assert collector.throughput() == pytest.approx(2.0)
+
+    def test_empty_window_rates_are_zero(self):
+        collector = MetricsCollector(window_start=1.0, window_end=1.0)
+        collector.record_success(0.5, latency=0.01)
+        assert collector.throughput() == 0.0
+        assert collector.reject_throughput() == 0.0
+
+    def test_timeout_counted_regardless_of_window(self):
+        collector = MetricsCollector(window_start=0.5)
+        collector.record_timeout(0.1)
+        collector.record_timeout(0.9)
+        assert collector.timeouts == 2

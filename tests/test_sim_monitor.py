@@ -43,12 +43,21 @@ class TestSummaryStats:
         SummaryStats.of(samples)
         assert samples == [3.0, 1.0, 2.0]
 
+    def test_p999_resolves_deeper_than_p99(self):
+        # 20 stragglers in 10k samples sit beyond the 99th percentile
+        # but within the 99.9th: p99 misses them, p999 lands on them.
+        samples = [1.0] * 9980 + [100.0] * 20
+        stats = SummaryStats.of(samples)
+        assert stats.p99 < 2.0
+        assert stats.p999 > 90.0
+
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=200))
     def test_percentiles_are_ordered_and_bounded(self, samples):
         stats = SummaryStats.of(samples)
         tolerance = 1e-6 * max(1.0, abs(stats.maximum))
         assert stats.minimum <= stats.p50 <= stats.p90 + tolerance
         assert stats.p90 <= stats.p99 + tolerance <= stats.maximum + 2 * tolerance
+        assert stats.p99 <= stats.p999 + tolerance <= stats.maximum + 2 * tolerance
         assert stats.minimum - tolerance <= stats.mean <= stats.maximum + tolerance
 
     @given(st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=100))

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.builder import build_cluster
 from repro.net.addresses import client_address, replica_address
-from repro.net.trace import MessageTracer, TraceFilter, TraceRecord
+from repro.net.trace import MessageTracer, TraceFilter, TraceRecord, message_rids
 
 from tests.conftest import small_profile
 
@@ -92,3 +92,53 @@ class TestMessageTracer:
     def test_invalid_cap(self):
         with pytest.raises(ValueError):
             MessageTracer(max_records=0)
+
+
+class TestMessageRids:
+    class _Plain:
+        pass
+
+    def _message(self, **attrs):
+        message = self._Plain()
+        for name, value in attrs.items():
+            setattr(message, name, value)
+        return message
+
+    def test_single_rid_message(self):
+        assert message_rids(self._message(rid=(0, 1))) == ((0, 1),)
+
+    def test_batch_message(self):
+        assert message_rids(self._message(rids=[(0, 1), (1, 2)])) == ((0, 1), (1, 2))
+
+    def test_wrapped_request(self):
+        request = self._message(rid=(2, 3))
+        assert message_rids(self._message(request=request)) == ((2, 3),)
+
+    def test_protocol_internal_message(self):
+        assert message_rids(self._message()) == ()
+
+
+class TestConversationRidFilter:
+    """Regression: ``rid_filter`` used to be accepted but ignored."""
+
+    def test_filter_restricts_to_one_request(self):
+        cluster, tracer = traced_cluster(clients=2, duration=0.3)
+        carrying = [record for record in tracer.records if record.rids]
+        assert carrying, "run must produce rid-carrying messages"
+        rid = carrying[0].rids[0]
+        everything = tracer.conversation()
+        filtered = tracer.conversation(rid_filter=[rid])
+        assert filtered, "filtered rendering must not be empty"
+        assert len(filtered.splitlines()) < len(everything.splitlines())
+        # Commits carry no rids, so they never survive a rid filter.
+        assert "Commit" in everything
+        assert "Commit" not in filtered
+        for line in filtered.splitlines():
+            assert line in everything
+
+    def test_string_and_tuple_filters_agree(self):
+        cluster, tracer = traced_cluster(clients=1, duration=0.2)
+        rid = next(record.rids[0] for record in tracer.records if record.rids)
+        assert tracer.conversation(rid_filter=[rid]) == tracer.conversation(
+            rid_filter=[str(rid)]
+        )

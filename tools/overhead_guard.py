@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Guard the observer-only contract of repro.obs.
+
+Runs one seeded scenario twice — tracing off, then on — and demands the
+two ExperimentResults agree on every measured field, including the
+per-replica protocol counters.  Any drift means instrumentation leaked
+into the simulation (scheduled an event, drew randomness, or mutated
+protocol state) and fails CI.
+
+Usage::
+
+    PYTHONPATH=src python tools/overhead_guard.py [--seed N] [--system S]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.runner import RunSpec, run_experiment
+
+
+def fingerprint(result) -> list[tuple[str, object]]:
+    """Every result field that must not move when tracing is attached."""
+    return [
+        ("throughput", result.throughput),
+        ("latency", result.latency),
+        ("reject_throughput", result.reject_throughput),
+        ("reject_latency", result.reject_latency),
+        ("timeouts", result.timeouts),
+        ("traffic", tuple(sorted(result.traffic.items()))),
+        (
+            "replica_stats",
+            tuple(tuple(sorted(stats.items())) for stats in result.replica_stats),
+        ),
+    ]
+
+
+def scenarios(system: str, seed: int) -> list[tuple[str, dict]]:
+    """Steady state, overload (rejection path) and a crash/recovery."""
+    return [
+        (
+            "steady",
+            dict(system=system, clients=10, duration=1.0, warmup=0.3, seed=seed),
+        ),
+        (
+            "overload",
+            dict(
+                system=system,
+                clients=40,
+                duration=1.0,
+                warmup=0.3,
+                seed=seed,
+                overrides={"reject_threshold": 2},
+            ),
+        ),
+        (
+            "crash",
+            dict(
+                system=system,
+                clients=10,
+                duration=1.2,
+                warmup=0.2,
+                seed=seed,
+                faults=FaultSchedule().crash_follower(0.4).recover_replica(0.8),
+            ),
+        ),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--system", default="idem")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for label, kwargs in scenarios(args.system, args.seed):
+        plain = run_experiment(RunSpec(**kwargs))
+        traced = run_experiment(RunSpec(**kwargs, observe=True))
+        drift = [
+            (name, a, b)
+            for (name, a), (_name, b) in zip(fingerprint(plain), fingerprint(traced))
+            if a != b
+        ]
+        events = len(traced.obs.tracer.events) if traced.obs else 0
+        if drift:
+            failures += 1
+            print(f"[{label}] DRIFT with tracing on ({events} events recorded):")
+            for name, a, b in drift:
+                print(f"  {name}:\n    off: {a}\n    on:  {b}")
+        else:
+            print(f"[{label}] ok: identical results, {events} trace events")
+    if failures:
+        print(f"overhead guard FAILED: {failures} scenario(s) drifted", file=sys.stderr)
+        return 1
+    print("overhead guard passed: tracing is observer-only")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
