@@ -7,7 +7,11 @@ paper's *qualitative* claims (who wins, where the knee is, by what
 factor) — absolute numbers are simulator-calibrated, not testbed
 numbers.
 
-Set ``REPRO_BENCH_QUICK=1`` for a coarse, fast pass.
+Set ``REPRO_BENCH_QUICK=1`` for a coarse, fast pass, and
+``REPRO_BENCH_CACHE=1`` to route every simulation run through the
+campaign's content-addressed result cache (``benchmarks/results/cache``)
+so repeated benchmark invocations are incremental — only runs whose
+spec changed are re-simulated.
 """
 
 from __future__ import annotations
@@ -15,12 +19,38 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+import pytest
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def quick_mode() -> bool:
     """Whether to run the scaled-down benchmark settings."""
     return os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "")
+
+
+def cache_mode() -> bool:
+    """Whether to serve benchmark runs through the campaign cache."""
+    return os.environ.get("REPRO_BENCH_CACHE", "0") not in ("0", "")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def campaign_result_cache():
+    """Opt-in (``REPRO_BENCH_CACHE=1``) cache-through execution.
+
+    Cache hits are byte-identical to fresh runs (every job is a
+    deterministic function of its content-addressed spec), so cached
+    benchmark reruns assert exactly what a cold run would.
+    """
+    if not cache_mode():
+        yield None
+        return
+    from repro.campaign import CachingExecutor, ResultCache
+    from repro.experiments import common
+
+    executor = CachingExecutor(ResultCache(RESULTS_DIR / "cache"))
+    with common.use_executor(executor):
+        yield executor
 
 
 def report(name: str, text: str) -> None:

@@ -1,0 +1,156 @@
+"""Content-addressed result cache for campaign jobs.
+
+Results live under ``benchmarks/results/cache/`` (configurable), one
+entry per job key:
+
+* ``<key[:2]>/<key>.pkl`` — the pickled result object, and
+* ``<key[:2]>/<key>.json`` — a small human-readable sidecar (label,
+  kind, version) for inspecting what a hash refers to.
+
+The key is computed by :mod:`repro.campaign.plan` from the canonicalised
+job payload plus the ``repro`` version and cache schema, so the whole
+cache is invalidated simply by bumping either — or by deleting the
+directory (see ``docs/CAMPAIGNS.md``).
+
+Because every job is a deterministic function of its payload, a cache
+hit must equal a fresh run.  :func:`result_fingerprint` gives the
+canonical digest used to *check* that property: the campaign's
+spot-check verification mode re-runs a deterministic sample of cache
+hits and compares fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+import repro
+from repro.campaign.plan import CACHE_SCHEMA, Job, canonical_json
+from repro.experiments.io import to_jsonable
+
+DEFAULT_CACHE_DIR = Path("benchmarks") / "results" / "cache"
+
+# ``to_jsonable`` falls back to repr() for non-dataclass attachments
+# (e.g. a kept MetricsCollector); mask the memory addresses so the
+# fingerprint only reflects values, never object identity.
+_ADDRESS = re.compile(r" object at 0x[0-9a-fA-F]+")
+
+#: Sentinel returned by :meth:`ResultCache.load` when a key is absent.
+MISS = object()
+
+
+def result_fingerprint(result: Any) -> str:
+    """Canonical digest of a job result's observable values."""
+    text = _ADDRESS.sub(" object", canonical_json(to_jsonable(result)))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def should_verify(key: str, fraction: float) -> bool:
+    """Deterministic sampling: verify roughly ``fraction`` of cache hits.
+
+    Derived from the job key itself, so the same jobs are spot-checked
+    on every machine — failures are reproducible.
+    """
+    if fraction <= 0.0:
+        return False
+    if fraction >= 1.0:
+        return True
+    return int(key[:8], 16) < fraction * 0x100000000
+
+
+@dataclass
+class CacheStats:
+    """Counters one cache accumulates over a campaign."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+
+@dataclass
+class ResultCache:
+    """A content-addressed pickle store, keyed by job hash."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _meta_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def load(self, key: str) -> Any:
+        """The cached result for ``key``, or :data:`MISS`.
+
+        Corrupt entries (truncated pickles, unreadable files) are
+        dropped and counted as misses — the job simply re-runs.
+        """
+        path = self._path(key)
+        try:
+            with path.open("rb") as stream:
+                result = pickle.load(stream)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return MISS
+        except Exception:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            self.evict(key)
+            return MISS
+        self.stats.hits += 1
+        return result
+
+    def store(self, key: str, result: Any, job: Optional[Job] = None) -> None:
+        """Persist one result (and a human-readable sidecar)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".pkl.tmp")
+        with tmp.open("wb") as stream:
+            pickle.dump(result, stream, protocol=4)
+        tmp.replace(path)
+        meta = {
+            "key": key,
+            "schema": CACHE_SCHEMA,
+            "version": repro.__version__,
+            "fingerprint": result_fingerprint(result),
+        }
+        if job is not None:
+            meta["kind"] = job.kind
+            meta["label"] = job.label
+        self._meta_path(key).write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        self.stats.stores += 1
+
+    def evict(self, key: str) -> None:
+        """Remove one entry (stale or corrupt)."""
+        for path in (self._path(key), self._meta_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def purge(self) -> int:
+        """Drop every entry; returns how many results were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+        return removed

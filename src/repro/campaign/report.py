@@ -1,0 +1,94 @@
+"""Campaign reporting: the stderr summary and the JSON artifact.
+
+The rendered *experiment* outputs (what goes to stdout) are fully
+deterministic — no wall-clock content — so two campaign runs with the
+same settings can be diffed byte-for-byte (the CI smoke job does).
+Everything timing- or machine-dependent lives here instead: the stderr
+summary and the machine-readable report written by ``--report``, which
+CI parses for the cache-hit-rate assertion and uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.engine import CampaignOptions, CampaignResult
+
+
+def render_summary(result: CampaignResult) -> str:
+    """Human-readable campaign summary (stderr; not byte-stable)."""
+    stats = result.stats
+    lines = [
+        "Campaign summary:",
+        f"  experiments : {', '.join(o.experiment_id for o in result.outcomes)}",
+        f"  jobs        : {stats.planned} planned, {stats.unique} distinct",
+        f"  cache       : {stats.cache_hits} hit(s), {stats.executed} executed, "
+        f"{stats.stored} stored ({100 * stats.hit_rate:.0f}% hit rate)",
+        f"  workers     : {stats.workers}"
+        + (" (pool unavailable; ran serially)" if stats.pool_fallback else ""),
+    ]
+    if stats.verified or stats.verify_failures:
+        lines.append(
+            f"  verified    : {stats.verified} spot-check(s), "
+            f"{stats.verify_failures} failure(s)"
+        )
+    if stats.inline_misses:
+        lines.append(
+            f"  plan drift  : {stats.inline_misses} job(s) ran inline "
+            "(not covered by the plan)"
+        )
+    lines.append(
+        f"  wall time   : plan {stats.plan_seconds:.2f}s, "
+        f"execute {stats.execute_seconds:.2f}s, "
+        f"aggregate {stats.aggregate_seconds:.2f}s"
+    )
+    if result.baseline_paths:
+        lines.append(
+            "  baselines   : wrote "
+            + ", ".join(path.name for path in result.baseline_paths)
+        )
+    return "\n".join(lines)
+
+
+def report_jsonable(result: CampaignResult) -> dict[str, Any]:
+    """The machine-readable campaign report (CI artifact)."""
+    options: CampaignOptions = result.options
+    stats = result.stats
+    return {
+        "experiments": [o.experiment_id for o in result.outcomes],
+        "settings": options.settings(),
+        "stats": {
+            "planned": stats.planned,
+            "unique": stats.unique,
+            "cache_hits": stats.cache_hits,
+            "hit_rate": stats.hit_rate,
+            "executed": stats.executed,
+            "stored": stats.stored,
+            "verified": stats.verified,
+            "verify_failures": stats.verify_failures,
+            "inline_misses": stats.inline_misses,
+            "workers": stats.workers,
+            "pool_fallback": stats.pool_fallback,
+            **stats.merge_timings(),
+        },
+        "headlines": result.headlines,
+        "baseline": (
+            None
+            if result.baseline_report is None
+            else result.baseline_report.to_jsonable()
+        ),
+        "ok": result.ok,
+    }
+
+
+def write_report(path: Path, result: CampaignResult) -> Path:
+    """Write the JSON report for ``--report PATH``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(report_jsonable(result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

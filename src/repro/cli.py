@@ -2,8 +2,10 @@
 
 Usage::
 
-    repro-experiments fig6            # one experiment, full settings
-    repro-experiments all --quick     # everything, scaled-down
+    repro-experiments fig6                  # one experiment, full settings
+    repro-experiments all --quick           # everything, scaled-down
+    repro-experiments campaign --jobs 4     # parallel, cached campaign
+    repro-experiments campaign --check      # gate against BENCH_* baselines
     repro-experiments --list
 """
 
@@ -29,8 +31,9 @@ def main(argv: list[str] | None = None) -> int:
         default="all",
         help=(
             "experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10), "
-            "'all', 'chaos' for a randomized fault-injection run, or 'trace' "
-            "for a traced run with request-lifecycle analysis"
+            "'all', 'campaign' for a parallel cached campaign, 'chaos' for a "
+            "randomized fault-injection run, or 'trace' for a traced run with "
+            "request-lifecycle analysis"
         ),
     )
     parser.add_argument(
@@ -81,15 +84,63 @@ def main(argv: list[str] | None = None) -> int:
         default=5,
         help="how many slowest requests to break down (trace only)",
     )
+    campaign = parser.add_argument_group("campaign options")
+    campaign.add_argument(
+        "--experiments",
+        default="all",
+        help="comma-separated experiment ids for the campaign (default: all)",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="parallel worker processes (0 = one per CPU; campaign only)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default="benchmarks/results/cache",
+        help="content-addressed result cache directory (campaign only)",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (campaign only)",
+    )
+    campaign.add_argument(
+        "--verify",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="re-run this fraction of cache hits and diff them (campaign only)",
+    )
+    campaign.add_argument(
+        "--check",
+        action="store_true",
+        help="gate headline metrics against BENCH_* baselines; exit 1 on regression",
+    )
+    campaign.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="refresh the BENCH_* baseline files from this campaign's results",
+    )
+    campaign.add_argument(
+        "--baseline-dir",
+        default="benchmarks/baselines",
+        help="directory holding the BENCH_*.json baselines (campaign only)",
+    )
+    campaign.add_argument(
+        "--report",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable campaign report (JSON) to PATH",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "chaos":
         return run_chaos_command(args)
     if args.experiment == "trace":
         return run_trace_command(args)
-    if args.runs is not None:
-        os.environ["REPRO_RUNS"] = str(args.runs)
-    if args.duration is not None:
-        os.environ["REPRO_DURATION"] = str(args.duration)
+    if args.experiment == "campaign":
+        return run_campaign_command(args)
 
     if args.list:
         for experiment_id, module in EXPERIMENTS.items():
@@ -106,7 +157,15 @@ def main(argv: list[str] | None = None) -> int:
     for experiment_id in ids:
         started = time.time()
         module = EXPERIMENTS[experiment_id]
-        data = module.run(quick=args.quick, seed0=args.seed)
+        # runs/duration are threaded explicitly (no env-var mutation):
+        # the REPRO_RUNS/REPRO_DURATION environment variables are only
+        # read as defaults when these stay None.
+        data = module.run(
+            quick=args.quick,
+            runs=args.runs,
+            seed0=args.seed,
+            duration=args.duration,
+        )
         elapsed = time.time() - started
         print(module.render(data))
         if args.json:
@@ -116,6 +175,66 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[raw data saved to {path}]")
         print(f"\n[{experiment_id} finished in {elapsed:.1f}s wall time]\n")
     return 0
+
+
+def run_campaign_command(args) -> int:
+    """Plan, execute (in parallel, against the cache) and gate a campaign.
+
+    stdout carries only the rendered experiment reports — fully
+    deterministic, so two runs with the same settings diff clean.
+    Progress, cache statistics and the baseline verdict go to stderr;
+    ``--report`` additionally writes a machine-readable JSON artifact.
+    """
+    from repro.campaign import (
+        CacheVerificationError,
+        CampaignOptions,
+        render_summary,
+        run_campaign,
+        write_report,
+    )
+
+    def echo(message: str) -> None:
+        print(message, file=sys.stderr)
+
+    try:
+        options = CampaignOptions(
+            experiments=[part for part in args.experiments.split(",") if part],
+            quick=args.quick,
+            runs=args.runs,
+            duration=args.duration,
+            seed0=args.seed,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            verify_fraction=args.verify,
+            check=args.check,
+            update_baselines=args.update_baselines,
+            baseline_dir=args.baseline_dir,
+            echo=echo,
+        )
+        result = run_campaign(options)
+    except KeyError as error:
+        print(f"campaign: {error.args[0]}", file=sys.stderr)
+        return 2
+    except CacheVerificationError as error:
+        print(f"campaign: {error}", file=sys.stderr)
+        return 1
+
+    for outcome in result.outcomes:
+        print(outcome.text)
+        print()
+    print(render_summary(result), file=sys.stderr)
+    if result.baseline_report is not None:
+        print(result.baseline_report.render(), file=sys.stderr)
+    if args.json:
+        from repro.experiments.io import save_json
+
+        for outcome in result.outcomes:
+            path = save_json(outcome.data, f"{args.json}/{outcome.experiment_id}.json")
+            print(f"campaign: raw data saved to {path}", file=sys.stderr)
+    if args.report:
+        path = write_report(args.report, result)
+        print(f"campaign: report written to {path}", file=sys.stderr)
+    return result.exit_code
 
 
 def run_chaos_command(args) -> int:

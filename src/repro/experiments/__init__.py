@@ -1,12 +1,14 @@
 """The paper's evaluation: one module per figure/table.
 
-Every module exposes ``run(quick=False, runs=None, seed0=0) -> data`` and
-``render(data) -> str``; the registry maps experiment ids (``fig2``,
-``tab1``, ...) to them.  The benchmarks in ``benchmarks/`` are thin
-wrappers that execute these modules and assert the paper's qualitative
-claims.
+Every module exposes ``run(quick=False, runs=None, seed0=0,
+duration=None) -> data``, ``render(data) -> str`` and a campaign-planner
+hook (``plan_runs``/``plan_cells``); the registry maps experiment ids
+(``fig2``, ``tab1``, ...) to them.  The benchmarks in ``benchmarks/``
+are thin wrappers that execute these modules and assert the paper's
+qualitative claims; ``repro.campaign`` plans, parallelises, caches and
+gates whole campaigns of them.
 """
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment_by_id
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment_by_id
 
-__all__ = ["EXPERIMENTS", "run_experiment_by_id"]
+__all__ = ["EXPERIMENTS", "get_experiment", "run_experiment_by_id"]

@@ -2,20 +2,30 @@
 
 Runs are averaged over multiple seeds like the paper averages over three
 runs (Section 7.1).  Durations and run counts scale down in *quick* mode
-(used by the test suite) and can be overridden through environment
-variables:
+(used by the test suite); explicit ``runs``/``duration`` arguments win,
+and environment variables act as default-only fallbacks:
 
 * ``REPRO_RUNS`` — seeded runs per data point (default 2).
 * ``REPRO_DURATION`` — measured run length in simulated seconds.
+
+Every simulation an experiment needs goes through :func:`execute_run`
+(and :func:`execute_tab1_cell` for Table 1's traffic cells).  By default
+these execute inline; the campaign engine (``repro.campaign``) installs
+an executor via :func:`use_executor` to serve results from its parallel,
+content-addressed job store instead.  Experiments therefore stay plain
+serial code — the aggregation order, and hence the rendered output, is
+identical whether results are computed inline or fanned out.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Iterator, Optional, Protocol
 
 from repro.cluster.faults import FaultSchedule
+from repro.cluster.metrics import ExperimentResult
 from repro.cluster.profile import ClusterProfile
 from repro.cluster.runner import RunSpec, run_experiment
 
@@ -28,6 +38,53 @@ def default_runs() -> int:
 def default_duration() -> float:
     """Simulated seconds per steady-state run."""
     return float(os.environ.get("REPRO_DURATION", "1.0"))
+
+
+class ExperimentExecutor(Protocol):
+    """Where experiment jobs actually run (inline by default).
+
+    ``repro.campaign`` provides implementations that serve results from
+    a process pool and a content-addressed cache.
+    """
+
+    def run_spec(self, spec: RunSpec) -> ExperimentResult:
+        """Produce the result of one seeded simulation run."""
+        ...
+
+    def run_cell(self, kwargs: dict[str, Any]) -> Any:
+        """Produce one Table 1 traffic cell (``tab1_overhead.measure_cell``)."""
+        ...
+
+
+_executor: Optional[ExperimentExecutor] = None
+
+
+@contextmanager
+def use_executor(executor: ExperimentExecutor) -> Iterator[ExperimentExecutor]:
+    """Route :func:`execute_run`/:func:`execute_tab1_cell` through ``executor``."""
+    global _executor
+    previous = _executor
+    _executor = executor
+    try:
+        yield executor
+    finally:
+        _executor = previous
+
+
+def execute_run(spec: RunSpec) -> ExperimentResult:
+    """Execute one run, through the installed executor if there is one."""
+    if _executor is not None:
+        return _executor.run_spec(spec)
+    return run_experiment(spec)
+
+
+def execute_tab1_cell(**kwargs: Any) -> Any:
+    """Execute one Table 1 cell, through the installed executor if any."""
+    if _executor is not None:
+        return _executor.run_cell(dict(kwargs))
+    from repro.experiments.tab1_overhead import measure_cell
+
+    return measure_cell(**kwargs)
 
 
 @dataclass
@@ -60,6 +117,55 @@ class Point:
         return self.reject_throughput / total if total else 0.0
 
 
+def point_specs(
+    system: str,
+    clients: int,
+    runs: Optional[int] = None,
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+    seed0: int = 0,
+    overrides: Optional[dict[str, Any]] = None,
+    profile: Optional[ClusterProfile] = None,
+    faults: Optional[FaultSchedule] = None,
+) -> list[RunSpec]:
+    """The ``runs`` seeded specs behind one averaged data point.
+
+    This is the single place where sweep defaults (run count, duration,
+    warm-up, profile) are resolved, so the campaign planner and the
+    inline execution path always agree on the exact specs of a point.
+    """
+    runs = runs or default_runs()
+    duration = duration or default_duration()
+    warmup = warmup if warmup is not None else min(0.3, duration / 3)
+    profile = profile or ClusterProfile()
+    return [
+        RunSpec(
+            system=system,
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+            seed=seed0 + run_index,
+            overrides=dict(overrides or {}),
+            profile=profile,
+            faults=faults,
+        )
+        for run_index in range(runs)
+    ]
+
+
+def sweep_specs(
+    system: str,
+    client_counts: list[int],
+    **kwargs: Any,
+) -> list[RunSpec]:
+    """All specs of a sweep, in execution order (campaign planning)."""
+    return [
+        spec
+        for clients in client_counts
+        for spec in point_specs(system, clients, **kwargs)
+    ]
+
+
 def averaged_point(
     system: str,
     clients: int,
@@ -72,23 +178,20 @@ def averaged_point(
     faults: Optional[FaultSchedule] = None,
 ) -> Point:
     """Run ``runs`` seeded simulations and average the paper's metrics."""
-    runs = runs or default_runs()
-    duration = duration or default_duration()
-    warmup = warmup if warmup is not None else min(0.3, duration / 3)
-    profile = profile or ClusterProfile()
-    results = []
-    for run_index in range(runs):
-        spec = RunSpec(
-            system=system,
-            clients=clients,
-            duration=duration,
-            warmup=warmup,
-            seed=seed0 + run_index,
-            overrides=dict(overrides or {}),
-            profile=profile,
-            faults=faults,
-        )
-        results.append(run_experiment(spec))
+    specs = point_specs(
+        system,
+        clients,
+        runs=runs,
+        duration=duration,
+        warmup=warmup,
+        seed0=seed0,
+        overrides=overrides,
+        profile=profile,
+        faults=faults,
+    )
+    profile = specs[0].profile or ClusterProfile()
+    runs = len(specs)
+    results = [execute_run(spec) for spec in specs]
     throughputs = [result.throughput for result in results]
     latencies = [result.latency.mean * 1e3 for result in results]
     latency_stds = [result.latency.std * 1e3 for result in results]

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.faults import FaultSchedule
-from repro.cluster.runner import RunSpec, run_experiment
+from repro.cluster.runner import RunSpec
 from repro.experiments import common
 from repro.experiments.charts import timeline_sparkline
 
@@ -52,7 +52,7 @@ class TimelineRun:
     safety_violations: list[str] = field(default_factory=list)
 
 
-def measure_timeline(
+def timeline_spec(
     system: str,
     clients: int,
     target: str,
@@ -60,14 +60,14 @@ def measure_timeline(
     crash_time: float,
     seed: int = 0,
     bucket_width: float = 0.25,
-) -> TimelineRun:
-    """Run one crash scenario and extract its timelines."""
+) -> RunSpec:
+    """The spec of one crash-timeline scenario."""
     faults = FaultSchedule()
     if target == "leader":
         faults.crash_leader(crash_time)
     else:
         faults.crash_follower(crash_time)
-    spec = RunSpec(
+    return RunSpec(
         system=system,
         clients=clients,
         duration=duration,
@@ -78,7 +78,22 @@ def measure_timeline(
         bucket_width=bucket_width,
         safety=True,
     )
-    result = run_experiment(spec)
+
+
+def measure_timeline(
+    system: str,
+    clients: int,
+    target: str,
+    duration: float,
+    crash_time: float,
+    seed: int = 0,
+    bucket_width: float = 0.25,
+) -> TimelineRun:
+    """Run one crash scenario and extract its timelines."""
+    spec = timeline_spec(
+        system, clients, target, duration, crash_time, seed, bucket_width
+    )
+    result = common.execute_run(spec)
     metrics = result.metrics
     throughput_series = metrics.reply_counter.series()
     latency_series = [
@@ -159,7 +174,8 @@ class Fig10Data:
         raise KeyError((system, clients, target))
 
 
-def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig10Data:
+def _cases(quick: bool):
+    """Scenario-fixed settings: (duration, crash_time, abc_cases, d_cases)."""
     duration = 6.5 if quick else 9.0
     crash_time = 2.5 if quick else 3.5
     if quick:
@@ -183,6 +199,39 @@ def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig10Da
             for system in ("idem", "paxos-lbr")
             for target in ("leader", "follower")
         ]
+    return duration, crash_time, abc_cases, d_cases
+
+
+def plan_runs(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> list[RunSpec]:
+    """The independent simulation specs behind :func:`run` (campaign planner).
+
+    ``runs`` and ``duration`` are accepted for interface uniformity but
+    ignored: the crash timelines are scenario-fixed single runs.
+    """
+    scenario_duration, crash_time, abc_cases, d_cases = _cases(quick)
+    return [
+        timeline_spec(system, clients, target, scenario_duration, crash_time, seed0)
+        for system, clients, target in abc_cases + d_cases
+    ]
+
+
+def run(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> Fig10Data:
+    """Measure all crash timelines.
+
+    ``runs`` and ``duration`` are accepted for interface uniformity but
+    ignored (scenario-fixed timeline runs).
+    """
+    duration, crash_time, abc_cases, d_cases = _cases(quick)
     panels_abc = [
         measure_timeline(system, clients, target, duration, crash_time, seed=seed0)
         for system, clients, target in abc_cases

@@ -40,11 +40,31 @@ class Fig2Data:
         return self.points[-1]
 
 
-def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig2Data:
-    """Measure the Paxos curve of Figure 2."""
+def _settings(quick: bool, runs: int | None) -> tuple[list[int], int | None]:
     clients = QUICK_CLIENTS if quick else FULL_CLIENTS
-    runs = runs or (1 if quick else None)
-    points = common.sweep("paxos", clients, runs=runs, seed0=seed0)
+    return clients, runs or (1 if quick else None)
+
+
+def plan_runs(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+):
+    """The independent simulation specs behind :func:`run` (campaign planner)."""
+    clients, runs = _settings(quick, runs)
+    return common.sweep_specs("paxos", clients, runs=runs, seed0=seed0, duration=duration)
+
+
+def run(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> Fig2Data:
+    """Measure the Paxos curve of Figure 2."""
+    clients, runs = _settings(quick, runs)
+    points = common.sweep("paxos", clients, runs=runs, seed0=seed0, duration=duration)
     return Fig2Data(points)
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.faults import FaultSchedule
-from repro.cluster.runner import RunSpec, run_experiment
+from repro.cluster.runner import RunSpec
 from repro.experiments import common
 
 
@@ -31,8 +31,8 @@ class Fig3Data:
     safety_violations: list[str] = field(default_factory=list)
 
 
-def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig3Data:
-    """Run the Paxos_LBR leader-crash experiment."""
+def _spec(quick: bool, seed0: int) -> tuple[RunSpec, float]:
+    """The single crash-timeline spec of this experiment (plus crash time)."""
     duration = 6.0 if quick else 9.0
     crash_time = 2.5 if quick else 3.5
     clients = 150  # well past the leader's rejection threshold
@@ -47,7 +47,38 @@ def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig3Dat
         bucket_width=0.25,
         safety=True,
     )
-    result = run_experiment(spec)
+    return spec, crash_time
+
+
+def plan_runs(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> list[RunSpec]:
+    """The independent simulation specs behind :func:`run` (campaign planner).
+
+    ``runs`` and ``duration`` are accepted for interface uniformity but
+    ignored: the crash timeline is a single scenario-fixed run.
+    """
+    spec, _ = _spec(quick, seed0)
+    return [spec]
+
+
+def run(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> Fig3Data:
+    """Run the Paxos_LBR leader-crash experiment.
+
+    ``runs`` and ``duration`` are accepted for interface uniformity but
+    ignored (single scenario-fixed timeline run).
+    """
+    spec, crash_time = _spec(quick, seed0)
+    duration = spec.duration
+    result = common.execute_run(spec)
     metrics = result.metrics
     series = metrics.reject_counter.series()
     downtime = max(

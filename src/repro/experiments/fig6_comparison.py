@@ -43,12 +43,38 @@ class Fig6Data:
         return points[-1].latency_ms
 
 
-def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig6Data:
-    """Measure all four systems' curves."""
+def _settings(quick: bool, runs: int | None) -> tuple[list[int], int | None]:
     clients = QUICK_CLIENTS if quick else FULL_CLIENTS
-    runs = runs or (1 if quick else None)
+    return clients, runs or (1 if quick else None)
+
+
+def plan_runs(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+):
+    """The independent simulation specs behind :func:`run` (campaign planner)."""
+    clients, runs = _settings(quick, runs)
+    return [
+        spec
+        for system in SYSTEMS
+        for spec in common.sweep_specs(
+            system, clients, runs=runs, seed0=seed0, duration=duration
+        )
+    ]
+
+
+def run(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> Fig6Data:
+    """Measure all four systems' curves."""
+    clients, runs = _settings(quick, runs)
     curves = {
-        system: common.sweep(system, clients, runs=runs, seed0=seed0)
+        system: common.sweep(system, clients, runs=runs, seed0=seed0, duration=duration)
         for system in SYSTEMS
     }
     return Fig6Data(curves)

@@ -34,16 +34,48 @@ class Fig8Data:
         return self.curves[threshold][-1].latency_ms
 
 
-def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Fig8Data:
+def _settings(quick: bool, runs: int | None) -> tuple[list[int], list[int], int | None]:
     thresholds = QUICK_THRESHOLDS if quick else FULL_THRESHOLDS
     clients = QUICK_CLIENTS if quick else FULL_CLIENTS
-    runs = runs or (1 if quick else None)
+    return thresholds, clients, runs or (1 if quick else None)
+
+
+def plan_runs(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+):
+    """The independent simulation specs behind :func:`run` (campaign planner)."""
+    thresholds, clients, runs = _settings(quick, runs)
+    return [
+        spec
+        for threshold in thresholds
+        for spec in common.sweep_specs(
+            "idem",
+            clients,
+            runs=runs,
+            seed0=seed0,
+            duration=duration,
+            overrides={"reject_threshold": threshold},
+        )
+    ]
+
+
+def run(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> Fig8Data:
+    thresholds, clients, runs = _settings(quick, runs)
     curves = {
         threshold: common.sweep(
             "idem",
             clients,
             runs=runs,
             seed0=seed0,
+            duration=duration,
             overrides={"reject_threshold": threshold},
         )
         for threshold in thresholds

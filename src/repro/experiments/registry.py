@@ -1,8 +1,24 @@
-"""Registry mapping experiment ids to their modules."""
+"""Registry mapping experiment ids to their modules.
+
+Every experiment module exposes the same interface:
+
+* ``run(quick=False, runs=None, seed0=0, duration=None)`` — measure and
+  return the experiment's data object.
+* ``render(data)`` — the paper-style plain-text report for that data.
+* ``plan_runs(...)`` (or ``plan_cells(...)`` for Table 1) — the
+  independent job specs behind ``run``, used by the campaign planner
+  (``repro.campaign``) to fan work out without executing anything.
+
+``runs`` and ``duration`` are explicit arguments (no process-global
+state): the ``REPRO_RUNS``/``REPRO_DURATION`` environment variables act
+only as default fallbacks inside ``experiments.common`` when the
+arguments are left as ``None``.
+"""
 
 from __future__ import annotations
 
 from types import ModuleType
+from typing import Optional
 
 from repro.experiments import (
     fig2_existing_protocols,
@@ -27,14 +43,29 @@ EXPERIMENTS: dict[str, ModuleType] = {
 }
 
 
-def run_experiment_by_id(
-    experiment_id: str, quick: bool = False, seed0: int = 0
-) -> str:
-    """Run one experiment and return its rendered report."""
+def get_experiment(experiment_id: str) -> ModuleType:
+    """The module behind ``experiment_id``; raise a clear error if unknown."""
     module = EXPERIMENTS.get(experiment_id)
     if module is None:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; choose from {sorted(EXPERIMENTS)}"
         )
-    data = module.run(quick=quick, seed0=seed0)
+    return module
+
+
+def run_experiment_by_id(
+    experiment_id: str,
+    quick: bool = False,
+    seed0: int = 0,
+    runs: Optional[int] = None,
+    duration: Optional[float] = None,
+) -> str:
+    """Run one experiment and return its rendered report.
+
+    ``runs`` and ``duration`` override the per-experiment defaults and
+    reach ``experiments.common`` explicitly (not via environment
+    variables), so concurrent callers cannot race on global state.
+    """
+    module = get_experiment(experiment_id)
+    data = module.run(quick=quick, runs=runs, seed0=seed0, duration=duration)
     return module.render(data)

@@ -95,14 +95,36 @@ def measure_cell(
     )
 
 
-def run(quick: bool = False, runs: int | None = None, seed0: int = 0) -> Tab1Data:
+def plan_cells(quick: bool = False, seed0: int = 0) -> list[dict]:
+    """The independent cell jobs behind :func:`run` (campaign planner)."""
     target = default_requests(quick)
-    cells = [
-        measure_cell(system, load_label, clients, target, seed0)
+    return [
+        dict(
+            system=system,
+            load_label=load_label,
+            clients=clients,
+            target=target,
+            seed=seed0,
+        )
         for system in SYSTEMS
         for load_label, clients in LOADS
     ]
-    return Tab1Data(cells, target)
+
+
+def run(
+    quick: bool = False,
+    runs: int | None = None,
+    seed0: int = 0,
+    duration: float | None = None,
+) -> Tab1Data:
+    """Measure all cells.
+
+    ``runs`` and ``duration`` are accepted for interface uniformity but
+    ignored: cells run until a fixed request count completes.
+    """
+    jobs = plan_cells(quick, seed0)
+    cells = [common.execute_tab1_cell(**job) for job in jobs]
+    return Tab1Data(cells, jobs[0]["target"])
 
 
 def render(data: Tab1Data) -> str:

@@ -1,0 +1,365 @@
+"""Tests for ``repro.campaign``: planner, cache, pool, engine, baselines.
+
+The acceptance properties from the campaign design:
+
+* a parallel campaign's rendered output is byte-identical to the serial
+  path (and a re-run resolves everything from the cache, still
+  byte-identical);
+* the planner covers *every* simulation an experiment's ``run()``
+  executes, for every registered experiment (no plan drift);
+* the baseline gate passes on freshly written baselines and fails
+  (non-zero exit) once a metric is perturbed beyond its tolerance band.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignOptions,
+    ExecutionStats,
+    MISS,
+    ResultCache,
+    UnplannableSpec,
+    check_baselines,
+    execute_jobs,
+    extract_headlines,
+    job_key,
+    payload_to_spec,
+    plan_campaign,
+    plan_experiment,
+    result_fingerprint,
+    run_campaign,
+    should_verify,
+    spec_to_payload,
+    write_baseline,
+)
+from repro.campaign.baseline import baseline_path
+from repro.campaign.engine import CampaignExecutor
+from repro.campaign.plan import KIND_CELL, KIND_SIM, sim_job
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.profile import ClusterProfile
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.experiments import EXPERIMENTS, common
+from repro.experiments.tab1_overhead import Tab1Cell
+from repro.workload.schedule import ConstantSchedule
+
+
+def tiny_spec(seed: int = 0, **overrides) -> RunSpec:
+    values = dict(
+        system="idem", clients=2, duration=0.3, warmup=0.1, seed=seed,
+        keep_metrics=True,
+    )
+    values.update(overrides)
+    return RunSpec(**values)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    """One real simulation result, shared by every test that needs one."""
+    return run_experiment(tiny_spec())
+
+
+@pytest.fixture(scope="module")
+def shared_cache_dir(tmp_path_factory):
+    """One cache directory shared across the campaign-level tests, so
+    the CLI round-trip reuses what the parity test already simulated."""
+    return tmp_path_factory.mktemp("campaign-cache")
+
+
+class RecordingExecutor:
+    """Serves canned results while recording the key of every request."""
+
+    def __init__(self, result):
+        self.result = result
+        self.keys = []
+
+    def run_spec(self, spec):
+        self.keys.append(job_key(KIND_SIM, spec_to_payload(spec)))
+        return self.result
+
+    def run_cell(self, kwargs):
+        self.keys.append(job_key(KIND_CELL, dict(kwargs)))
+        return Tab1Cell(
+            system=kwargs["system"],
+            load_label=kwargs["load_label"],
+            clients=kwargs["clients"],
+            requests_completed=100,
+            total_bytes=1_000,
+            client_bytes=800,
+            replica_bytes=200,
+            rejects=0,
+            sim_seconds=1.0,
+        )
+
+
+class TestPlan:
+    def test_payload_roundtrip_with_faults_profile_overrides(self):
+        spec = tiny_spec(
+            overrides={"reject_threshold": 40},
+            profile=ClusterProfile(),
+            faults=FaultSchedule().crash_leader(2.0),
+            safety=True,
+        )
+        payload = spec_to_payload(spec)
+        json.dumps(payload)  # must be JSON-safe as-is
+        rebuilt = payload_to_spec(payload)
+        assert spec_to_payload(rebuilt) == payload
+        assert rebuilt.faults.faults == spec.faults.faults
+        assert rebuilt.profile == spec.profile
+
+    def test_key_excludes_experiment_and_label(self):
+        spec = tiny_spec()
+        a, b = sim_job("fig7", spec), sim_job("fig9", spec)
+        assert a.key == b.key
+        assert a.label != b.label
+
+    def test_key_changes_with_payload(self):
+        assert sim_job("x", tiny_spec(seed=0)).key != sim_job("x", tiny_spec(seed=1)).key
+
+    def test_unplannable_specs_raise(self):
+        with pytest.raises(UnplannableSpec):
+            spec_to_payload(tiny_spec(observe=True))
+        with pytest.raises(UnplannableSpec):
+            spec_to_payload(tiny_spec(schedule=ConstantSchedule(clients=2)))
+        with pytest.raises(UnplannableSpec):
+            spec_to_payload(tiny_spec(overrides={"bad": object()}))
+
+    def test_cross_experiment_jobs_dedup_by_key(self):
+        jobs = plan_campaign(["fig7", "fig9"], quick=True, runs=1, duration=0.3)
+        keys = [job.key for job in jobs]
+        # fig7's 2x/8x idem points reappear in fig9b's sweep.
+        assert len(set(keys)) < len(keys)
+
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    @pytest.mark.parametrize("quick", [True, False])
+    def test_plan_covers_exactly_what_run_executes(
+        self, experiment_id, quick, tiny_result
+    ):
+        """Every sim/cell ``run()`` asks for is in the plan, and vice versa."""
+        recorder = RecordingExecutor(tiny_result)
+        with common.use_executor(recorder):
+            EXPERIMENTS[experiment_id].run(
+                quick=quick, runs=1, seed0=3, duration=0.5
+            )
+        planned = plan_experiment(
+            experiment_id, quick=quick, runs=1, seed0=3, duration=0.5
+        )
+        assert sorted(recorder.keys) == sorted(job.key for job in planned)
+
+
+class TestCache:
+    def test_store_load_roundtrip(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        job = sim_job("t", tiny_spec())
+        cache.store(job.key, tiny_result, job)
+        loaded = cache.load(job.key)
+        assert result_fingerprint(loaded) == result_fingerprint(tiny_result)
+        meta = json.loads(
+            (tmp_path / job.key[:2] / f"{job.key}.json").read_text()
+        )
+        assert meta["label"] == job.label
+
+    def test_missing_key_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load("0" * 64) is MISS
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_is_evicted_and_missed(self, tmp_path, tiny_result):
+        cache = ResultCache(tmp_path)
+        job = sim_job("t", tiny_spec())
+        cache.store(job.key, tiny_result, job)
+        (tmp_path / job.key[:2] / f"{job.key}.pkl").write_bytes(b"not a pickle")
+        assert cache.load(job.key) is MISS
+        assert cache.stats.corrupt == 1
+        assert not cache.contains(job.key)
+
+    def test_fingerprint_masks_object_identity(self, tiny_result):
+        # keep_metrics embeds repr()s with memory addresses; two loads of
+        # the same result must fingerprint identically regardless.
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(tiny_result))
+        assert result_fingerprint(clone) == result_fingerprint(tiny_result)
+
+    def test_should_verify_bounds_and_determinism(self):
+        key = "ab" * 32
+        assert not should_verify(key, 0.0)
+        assert should_verify(key, 1.0)
+        assert should_verify(key, 0.3) == should_verify(key, 0.3)
+
+
+class TestPool:
+    def test_execute_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        jobs = [sim_job("t", tiny_spec())]
+        results, stats = execute_jobs(jobs, workers=1, cache=cache)
+        assert stats.executed == 1 and stats.cache_hits == 0 and stats.stored == 1
+        again, stats2 = execute_jobs(jobs, workers=1, cache=cache)
+        assert stats2.cache_hits == 1 and stats2.executed == 0
+        assert stats2.hit_rate == 1.0
+        key = jobs[0].key
+        assert result_fingerprint(again[key]) == result_fingerprint(results[key])
+
+    def test_duplicate_jobs_execute_once(self, tmp_path):
+        job = sim_job("t", tiny_spec())
+        results, stats = execute_jobs([job, job], workers=1, cache=None)
+        assert stats.planned == 2 and stats.unique == 1 and stats.executed == 1
+        assert list(results) == [job.key]
+
+    def test_verification_catches_stale_entry(self, tmp_path, tiny_result):
+        from repro.campaign import CacheVerificationError
+
+        cache = ResultCache(tmp_path)
+        job = sim_job("t", tiny_spec(seed=1))
+        # Poison the cache: the seed=0 result stored under the seed=1 key.
+        cache.store(job.key, tiny_result, job)
+        with pytest.raises(CacheVerificationError):
+            execute_jobs([job], workers=1, cache=cache, verify_fraction=1.0)
+        assert not cache.contains(job.key)  # stale entry evicted
+
+
+class TestCampaignExecutor:
+    def test_inline_fallback_counts_plan_drift(self, tiny_result):
+        stats = ExecutionStats()
+        spec = tiny_spec()
+        executor = CampaignExecutor({}, stats)
+        first = executor.run_spec(spec)
+        assert stats.inline_misses == 1
+        # The inline result is memoised, so a repeat is served from it.
+        assert executor.run_spec(spec) is first
+        assert stats.inline_misses == 1
+
+    def test_unplannable_spec_runs_inline(self):
+        stats = ExecutionStats()
+        executor = CampaignExecutor({}, stats)
+        result = executor.run_spec(tiny_spec(observe=True))
+        assert result.obs is not None
+        assert stats.inline_misses == 1
+
+
+class TestCampaignEndToEnd:
+    IDS = ["fig2", "fig7"]
+    SETTINGS = dict(quick=True, runs=1, duration=0.25, seed0=0)
+
+    def serial_texts(self):
+        return {
+            experiment_id: EXPERIMENTS[experiment_id].render(
+                EXPERIMENTS[experiment_id].run(**self.SETTINGS)
+            )
+            for experiment_id in self.IDS
+        }
+
+    def test_parallel_campaign_matches_serial_and_caches(self, shared_cache_dir):
+        serial = self.serial_texts()
+        options = CampaignOptions(
+            experiments=list(self.IDS),
+            jobs=4,
+            cache_dir=shared_cache_dir,
+            **self.SETTINGS,
+        )
+        cold = run_campaign(options)
+        assert [o.experiment_id for o in cold.outcomes] == self.IDS
+        assert {o.experiment_id: o.text for o in cold.outcomes} == serial
+        assert cold.stats.inline_misses == 0  # the plan covered everything
+        assert cold.stats.executed == cold.stats.unique
+
+        warm = run_campaign(options)
+        assert {o.experiment_id: o.text for o in warm.outcomes} == serial
+        assert warm.stats.executed == 0
+        assert warm.stats.hit_rate == 1.0
+        assert warm.exit_code == 0
+
+    def test_baseline_cycle_via_cli(self, shared_cache_dir, tmp_path, capsys):
+        """--update-baselines → --check passes → perturb → --check fails."""
+        from repro.cli import main
+
+        baseline_dir = tmp_path / "baselines"
+        argv = [
+            "campaign", "--experiments", "fig2", "--quick", "--runs", "1",
+            "--duration", "0.25", "--jobs", "1",
+            "--cache-dir", str(shared_cache_dir),
+            "--baseline-dir", str(baseline_dir),
+        ]
+        assert main(argv + ["--update-baselines"]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--check"]) == 0
+        err = capsys.readouterr().err
+        assert "=> PASS" in err
+
+        path = baseline_path(baseline_dir, "fig2")
+        document = json.loads(path.read_text())
+        document["metrics"]["knee.throughput"] *= 1.5
+        path.write_text(json.dumps(document))
+        assert main(argv + ["--check"]) == 1
+        err = capsys.readouterr().err
+        assert "regressed" in err and "=> FAIL" in err
+
+    def test_unknown_experiment_exits_two(self, capsys):
+        from repro.cli import main
+
+        assert main(["campaign", "--experiments", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestBaselines:
+    SETTINGS = dict(quick=True, runs=1, duration=0.5, seed0=0)
+
+    def test_write_then_check_passes(self, tmp_path):
+        write_baseline(tmp_path, "fig2", {"m": 100.0}, self.SETTINGS)
+        report = check_baselines(tmp_path, {"fig2": {"m": 110.0}}, self.SETTINGS)
+        assert report.ok
+        assert "=> PASS" in report.render()
+
+    def test_drift_beyond_tolerance_fails(self, tmp_path):
+        write_baseline(tmp_path, "fig2", {"m": 100.0}, self.SETTINGS)
+        report = check_baselines(tmp_path, {"fig2": {"m": 130.0}}, self.SETTINGS)
+        assert not report.ok
+        assert report.regressions[0].status == "regressed"
+
+    def test_settings_mismatch_fails(self, tmp_path):
+        write_baseline(tmp_path, "fig2", {"m": 100.0}, self.SETTINGS)
+        other = dict(self.SETTINGS, runs=3)
+        report = check_baselines(tmp_path, {"fig2": {"m": 100.0}}, other)
+        assert not report.ok
+        assert report.entries[0].status == "settings-mismatch"
+
+    def test_missing_baseline_fails(self, tmp_path):
+        report = check_baselines(tmp_path, {"fig2": {"m": 1.0}}, self.SETTINGS)
+        assert not report.ok
+        assert report.entries[0].status == "missing-baseline"
+
+    def test_new_metric_passes_missing_metric_fails(self, tmp_path):
+        write_baseline(tmp_path, "fig2", {"a": 1.0, "b": 2.0}, self.SETTINGS)
+        report = check_baselines(
+            tmp_path, {"fig2": {"a": 1.0, "c": 3.0}}, self.SETTINGS
+        )
+        statuses = {entry.metric: entry.status for entry in report.entries}
+        assert statuses == {"a": "ok", "b": "missing-metric", "c": "new-metric"}
+        assert not report.ok
+
+    def test_per_metric_tolerance_override(self, tmp_path):
+        path = write_baseline(tmp_path, "fig2", {"m": 100.0}, self.SETTINGS)
+        document = json.loads(path.read_text())
+        document["tolerances"] = {"m": {"relative": 0.5}}
+        path.write_text(json.dumps(document))
+        report = check_baselines(tmp_path, {"fig2": {"m": 140.0}}, self.SETTINGS)
+        assert report.ok
+
+    def test_extract_headlines_unknown_experiment(self):
+        assert extract_headlines("not-an-experiment", object()) == {}
+
+    def test_extract_headlines_fig2(self):
+        from repro.experiments.fig2_existing_protocols import Fig2Data
+
+        point = common.Point(
+            system="paxos", clients=50, load_factor=1.0, throughput=50_000.0,
+            throughput_std=0.0, latency_ms=1.2, latency_std_ms=0.1,
+            reject_throughput=0.0, reject_latency_ms=0.0,
+            reject_latency_std_ms=0.0, timeouts=0, runs=1,
+        )
+        headlines = extract_headlines("fig2", Fig2Data([point]))
+        assert headlines["knee.throughput"] == 50_000.0
+        assert set(headlines) == {
+            "knee.throughput", "knee.latency_ms", "max_load.latency_ms",
+        }

@@ -36,7 +36,7 @@ class TestCliRun:
             __doc__ = "Fake experiment."
 
             @staticmethod
-            def run(quick=False, seed0=0):
+            def run(quick=False, runs=None, seed0=0, duration=None):
                 return {"quick": quick, "seed": seed0}
 
             @staticmethod
@@ -61,7 +61,7 @@ class TestCliRun:
             def __init__(self, name):
                 self.name = name
 
-            def run(self, quick=False, seed0=0):
+            def run(self, quick=False, runs=None, seed0=0, duration=None):
                 ran.append(self.name)
                 return None
 

@@ -63,7 +63,7 @@ class TestSaveJson:
             __doc__ = "Fake."
 
             @staticmethod
-            def run(quick=False, seed0=0):
+            def run(quick=False, runs=None, seed0=0, duration=None):
                 return make_point()
 
             @staticmethod

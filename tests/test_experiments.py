@@ -172,6 +172,30 @@ class TestRenderers:
             data.find("idem", 50, "leader")
 
 
+class _SpecRecorder:
+    """Executor stub: records every requested spec, serves a canned result."""
+
+    def __init__(self, result):
+        self.result = result
+        self.specs = []
+
+    def run_spec(self, spec):
+        self.specs.append(spec)
+        return self.result
+
+    def run_cell(self, kwargs):  # pragma: no cover - fig2 never asks
+        raise AssertionError("unexpected tab1 cell")
+
+
+@pytest.fixture(scope="module")
+def canned_result():
+    from repro.cluster.runner import RunSpec, run_experiment
+
+    return run_experiment(
+        RunSpec(system="idem", clients=2, duration=0.3, warmup=0.1, seed=0)
+    )
+
+
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         assert set(EXPERIMENTS) == {
@@ -182,10 +206,47 @@ class TestRegistry:
         with pytest.raises(KeyError):
             run_experiment_by_id("fig99")
 
+    def test_unknown_id_message_lists_choices(self):
+        with pytest.raises(KeyError) as error:
+            run_experiment_by_id("fig99")
+        message = str(error.value)
+        assert "unknown experiment" in message and "fig2" in message
+
     def test_modules_expose_run_and_render(self):
         for module in EXPERIMENTS.values():
             assert callable(module.run)
             assert callable(module.render)
+
+    def test_modules_expose_campaign_plan(self):
+        for module in EXPERIMENTS.values():
+            assert hasattr(module, "plan_runs") or hasattr(module, "plan_cells")
+
+    def test_explicit_runs_and_duration_reach_sweep(self, canned_result):
+        recorder = _SpecRecorder(canned_result)
+        with common.use_executor(recorder):
+            text = run_experiment_by_id(
+                "fig2", quick=True, runs=2, seed0=5, duration=0.7
+            )
+        assert "Figure 2" in text
+        points = fig2_existing_protocols.QUICK_CLIENTS
+        assert len(recorder.specs) == 2 * len(points)
+        assert {spec.duration for spec in recorder.specs} == {0.7}
+        # Two seeded runs per point, seeds counted up from seed0.
+        for start in range(0, len(recorder.specs), 2):
+            pair = recorder.specs[start : start + 2]
+            assert [spec.seed for spec in pair] == [5, 6]
+
+    def test_env_runs_is_default_only_fallback(self, monkeypatch, canned_result):
+        monkeypatch.setenv("REPRO_RUNS", "3")
+        recorder = _SpecRecorder(canned_result)
+        with common.use_executor(recorder):
+            run_experiment_by_id("fig2", quick=False, duration=0.4)
+        full = fig2_existing_protocols.FULL_CLIENTS
+        assert len(recorder.specs) == 3 * len(full)  # env supplies the default
+        recorder.specs.clear()
+        with common.use_executor(recorder):
+            run_experiment_by_id("fig2", quick=False, runs=1, duration=0.4)
+        assert len(recorder.specs) == len(full)  # explicit runs wins over env
 
 
 class TestCli:
