@@ -1,0 +1,54 @@
+"""detlint: determinism & purity static analysis for the reproduction.
+
+Every number in the reproduction is regenerated from seeded simulation
+runs, and two subsystems lean on that determinism being airtight: the
+observability layer (``repro.obs``) promises byte-identical results with
+tracing on or off, and the campaign engine (``repro.campaign``) keys a
+content-addressed result cache by job payload.  A single wall-clock
+read, an unseeded random draw, or a hash-order-dependent iteration
+silently breaks all of it.
+
+``detlint`` enforces those invariants statically with three rule
+families (see :mod:`repro.analysis.rules` for the catalog):
+
+* **DET** — determinism hazards in the simulation core (wall clock,
+  ambient entropy, the global ``random`` module, unsorted set
+  iteration, environment access).
+* **OBS** — observer purity (``repro.obs`` may read simulation state
+  but never mutate it; protocols reach observability only through the
+  hook API).
+* **CAMP** — campaign payload hygiene (JSON-safe payloads, stable
+  digests) so cache keys stay comparable across runs and versions.
+
+Run it as ``repro-experiments lint`` or ``python -m repro.analysis``;
+suppress individual findings with ``# detlint: disable=RULE -- reason``
+pragmas or the committed baseline (``tools/detlint_baseline.json``).
+See ``docs/ANALYSIS.md`` for the workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.engine import LintReport, lint_paths, lint_source
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import RULES, Rule
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+]
+
+
+def main(argv=None) -> int:
+    """CLI entry point (``repro-experiments lint`` delegates here)."""
+    from repro.analysis.__main__ import main as _main
+
+    return _main(argv)

@@ -1,0 +1,155 @@
+"""The committed baseline of grandfathered findings.
+
+``tools/detlint_baseline.json`` holds the findings the team has looked
+at and decided to keep, each with a justification.  Entries match on
+``(rule, module, context)`` where *context* is the stripped source line
+— stable under line-number drift, invalidated the moment the flagged
+code actually changes.
+
+Regenerate after intentional changes with::
+
+    repro-experiments lint --update-baseline
+
+which preserves the reasons of entries that still match and stamps new
+ones with a placeholder the gate (``--check``) refuses, so a fresh
+suppression cannot land without a human-written justification.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Reason stamped on entries --update-baseline could not carry over.
+PLACEHOLDER_REASON = "TODO: justify this suppression"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing fields)."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One justified suppression."""
+
+    rule: str
+    module: str
+    context: str  # stripped source line of the finding
+    reason: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.module, self.context)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "rule": self.rule,
+            "module": self.module,
+            "context": self.context,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """The suppression set, with match bookkeeping for staleness."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Optional[Path] = None
+    _matched: set[tuple[str, str, str]] = field(default_factory=set)
+
+    def match(self, finding: Finding) -> Optional[BaselineEntry]:
+        """The entry suppressing ``finding``, if any (marks it used)."""
+        key = (finding.rule, finding.module, finding.source_line)
+        for entry in self.entries:
+            if entry.key() == key:
+                self._matched.add(key)
+                return entry
+        return None
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries that matched nothing in the last lint run."""
+        return [e for e in self.entries if e.key() not in self._matched]
+
+    def unjustified_entries(self) -> list[BaselineEntry]:
+        """Entries without a real reason string (placeholder or empty)."""
+        return [
+            e
+            for e in self.entries
+            if not e.reason.strip() or e.reason.strip() == PLACEHOLDER_REASON
+        ]
+
+
+def load_baseline(path: Optional[Path]) -> Baseline:
+    """Load ``path``; a missing file is an empty baseline."""
+    if path is None:
+        return Baseline()
+    path = Path(path)
+    if not path.exists():
+        return Baseline(path=path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(data, dict) or "suppressions" not in data:
+        raise BaselineError(f"{path}: expected an object with a 'suppressions' list")
+    entries = []
+    for index, raw in enumerate(data["suppressions"]):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    module=raw["module"],
+                    context=raw["context"],
+                    reason=raw.get("reason", ""),
+                )
+            )
+        except (TypeError, KeyError) as error:
+            raise BaselineError(
+                f"{path}: suppression #{index} is missing a field ({error})"
+            ) from error
+    return Baseline(entries=entries, path=path)
+
+
+def write_baseline(path: Path, baseline: Baseline) -> Path:
+    """Write ``baseline`` to ``path`` (sorted, stable rendering)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": [
+            entry.to_jsonable()
+            for entry in sorted(baseline.entries, key=BaselineEntry.key)
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def regenerate(previous: Baseline, findings: Iterable[Finding]) -> Baseline:
+    """A fresh baseline covering ``findings``, keeping known reasons.
+
+    ``findings`` should be the *unsuppressed-by-pragma* findings of a
+    lint run: pragma'd sites stay suppressed at the source, baseline
+    entries exist only for what would otherwise fail the gate.
+    """
+    known = {entry.key(): entry.reason for entry in previous.entries}
+    entries: dict[tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        key = (finding.rule, finding.module, finding.source_line)
+        if key in entries:
+            continue
+        entries[key] = BaselineEntry(
+            rule=finding.rule,
+            module=finding.module,
+            context=finding.source_line,
+            reason=known.get(key, PLACEHOLDER_REASON),
+        )
+    return Baseline(entries=list(entries.values()), path=previous.path)

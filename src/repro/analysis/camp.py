@@ -1,0 +1,127 @@
+"""CAMP family: campaign payload and cache-key hygiene.
+
+The campaign's content-addressed cache assumes job payloads
+canonicalise to identical JSON on every machine and every run.  These
+rules keep the inputs to that digest honest.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis import config
+from repro.analysis.astutil import build_import_table, dotted_name
+from repro.analysis.findings import CheckContext, Finding
+
+_NONJSON_CALLS = frozenset({"set", "frozenset", "bytes", "bytearray", "complex"})
+_NONFINITE = frozenset({"nan", "inf", "+inf", "-inf", "infinity", "+infinity", "-infinity"})
+
+
+def _is_payload_builder(name: str) -> bool:
+    return (
+        name.startswith(config.PAYLOAD_BUILDER_PREFIXES)
+        or name.endswith(config.PAYLOAD_BUILDER_SUFFIXES)
+        or name in config.PAYLOAD_BUILDER_NAMES
+    )
+
+
+class CampVisitor(ast.NodeVisitor):
+    """Emits CAMP001-CAMP003 findings for one repro.campaign file."""
+
+    def __init__(self, context: CheckContext, tree: ast.AST):
+        self.ctx = context
+        self.findings: list[Finding] = []
+        self.imports = build_import_table(tree)
+        self._builder_depth = 0
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.ctx.active_rules:
+            self.findings.append(self.ctx.make(rule, node, message))
+
+    def _visit_function(self, node) -> None:
+        is_builder = _is_payload_builder(node.name)
+        if is_builder:
+            self._builder_depth += 1
+        self.generic_visit(node)
+        if is_builder:
+            self._builder_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- CAMP001: payload builders stay JSON-safe -----------------------
+
+    def _flag_nonjson(self, node: ast.AST, what: str) -> None:
+        if self._builder_depth:
+            self._emit(
+                "CAMP001",
+                node,
+                f"{what} in a payload builder; job payloads must "
+                "canonicalise to JSON for stable cache keys",
+            )
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._flag_nonjson(node, "set literal")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._flag_nonjson(node, "set comprehension")
+        self.generic_visit(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if isinstance(node.value, bytes):
+            self._flag_nonjson(node, "bytes literal")
+
+    # -- calls: CAMP001 constructors, CAMP002 digests, CAMP003 dumps ----
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name):
+            if node.func.id in _NONJSON_CALLS:
+                self._flag_nonjson(node, f"{node.func.id}() value")
+            if node.func.id == "float" and self._is_nonfinite_literal(node):
+                self._flag_nonjson(node, "non-finite float")
+            if node.func.id in ("hash", "id"):
+                self._emit(
+                    "CAMP002",
+                    node,
+                    f"builtin {node.func.id}() is run-dependent "
+                    "(PYTHONHASHSEED / object address); derive keys with "
+                    "hashlib over canonical JSON",
+                )
+        name = dotted_name(node.func, self.imports)
+        if name == "json.dumps" and not self._has_sort_keys(node):
+            self._emit(
+                "CAMP003",
+                node,
+                "json.dumps without sort_keys=True renders the same "
+                "payload unstably; pass sort_keys=True",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_nonfinite_literal(node: ast.Call) -> bool:
+        return bool(
+            node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+            and node.args[0].value.strip().lower() in _NONFINITE
+        )
+
+    @staticmethod
+    def _has_sort_keys(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if keyword.arg == "sort_keys":
+                return (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                )
+            if keyword.arg is None:
+                return True  # **kwargs — assume the caller knows
+        return False
+
+
+def check(context: CheckContext, tree: ast.AST) -> list[Finding]:
+    """Run the CAMP family over one parsed file."""
+    visitor = CampVisitor(context, tree)
+    visitor.visit(tree)
+    return visitor.findings

@@ -1,0 +1,155 @@
+"""The detlint engine: walk files, run checkers, apply suppressions."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.analysis import camp, config, det, purity
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import CheckContext, Finding
+from repro.analysis.pragmas import parse_pragmas
+from repro.analysis.rules import RULES
+
+_FAMILY_CHECKERS = {
+    "DET": det.check,
+    "OBS": purity.check,
+    "CAMP": camp.check,
+}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    baseline: Baseline = field(default_factory=Baseline)
+
+    @property
+    def active(self) -> list[Finding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def pragma_suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed_by == "pragma"]
+
+    @property
+    def baseline_suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed_by == "baseline"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate passes (no active findings, no parse errors)."""
+        return not self.active and not self.parse_errors
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a source file, anchored at the ``repro`` dir."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return ".".join(parts[-1:]) if parts else str(path)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def lint_file(
+    path: Path,
+    baseline: Baseline,
+    module: Optional[str] = None,
+    rules_filter: Optional[set[str]] = None,
+) -> list[Finding]:
+    """Lint one file; returns findings with suppression state applied."""
+    source = Path(path).read_text(encoding="utf-8")
+    return _lint_text(
+        source,
+        module or module_name_for(Path(path)),
+        str(path),
+        baseline,
+        rules_filter,
+    )
+
+
+def lint_source(
+    source: str,
+    module: str,
+    baseline: Optional[Baseline] = None,
+    rules_filter: Optional[set[str]] = None,
+) -> list[Finding]:
+    """Lint a source string as dotted ``module`` (fixture-test entry)."""
+    return _lint_text(
+        source, module, f"<{module}>", baseline or Baseline(), rules_filter
+    )
+
+
+def _lint_text(
+    source: str,
+    module: str,
+    path: str,
+    baseline: Baseline,
+    rules_filter: Optional[set[str]],
+) -> list[Finding]:
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    active_rules = config.rules_for_module(module)
+    if rules_filter is not None:
+        active_rules &= rules_filter
+    if not active_rules:
+        return []
+    context = CheckContext(
+        module=module, path=path, lines=lines, active_rules=active_rules
+    )
+    findings: list[Finding] = []
+    wanted_families = {RULES[rule_id].family for rule_id in active_rules}
+    for family, checker in _FAMILY_CHECKERS.items():
+        if family in wanted_families:
+            findings.extend(checker(context, tree))
+    findings.sort(key=Finding.sort_key)
+    pragmas = parse_pragmas(lines)
+    for finding in findings:
+        pragma = pragmas.get(finding.line)
+        if pragma is not None and pragma.covers(finding.rule):
+            finding.suppressed_by = "pragma"
+            finding.suppression_reason = pragma.reason
+            continue
+        entry = baseline.match(finding)
+        if entry is not None:
+            finding.suppressed_by = "baseline"
+            finding.suppression_reason = entry.reason
+    return findings
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    baseline: Optional[Baseline] = None,
+    rules_filter: Optional[set[str]] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths``."""
+    report = LintReport(baseline=baseline or Baseline())
+    for path in iter_python_files(paths):
+        try:
+            report.findings.extend(
+                lint_file(path, report.baseline, rules_filter=rules_filter)
+            )
+        except SyntaxError as error:
+            report.parse_errors.append(f"{path}: {error}")
+        report.files_scanned += 1
+    report.findings.sort(key=Finding.sort_key)
+    return report

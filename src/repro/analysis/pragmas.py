@@ -1,0 +1,57 @@
+"""Inline suppression pragmas.
+
+Two forms, mirroring the usual linter conventions::
+
+    risky_call()  # detlint: disable=DET005 -- iteration feeds a set, order-free
+    # detlint: disable-next-line=OBS002 -- sampler schedules read-only callbacks
+    cluster.loop.call_after(...)
+
+Multiple rules separate with commas; ``disable=all`` silences every
+rule on the line.  The text after ``--`` is the justification; reports
+carry it alongside the suppressed finding.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_PRAGMA = re.compile(
+    r"#\s*detlint:\s*(?P<kind>disable|disable-next-line)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)\s*(?:--\s*(?P<reason>.*?)\s*)?$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One suppression pragma: the rules it silences and why."""
+
+    rules: frozenset[str]  # upper-cased rule ids, or {"ALL"}
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "ALL" in self.rules or rule_id in self.rules
+
+
+def parse_pragmas(lines: list[str]) -> dict[int, Pragma]:
+    """Map 1-based line number -> pragma in force on that line."""
+    by_line: dict[int, Pragma] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        pragma = Pragma(rules=rules, reason=match.group("reason") or "")
+        target = index + 1 if match.group("kind") == "disable-next-line" else index
+        existing = by_line.get(target)
+        if existing is not None:
+            pragma = Pragma(
+                rules=existing.rules | pragma.rules,
+                reason=existing.reason or pragma.reason,
+            )
+        by_line[target] = pragma
+    return by_line

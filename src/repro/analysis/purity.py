@@ -1,0 +1,238 @@
+"""OBS family: observer purity and the hook-API boundary.
+
+The observability layer promises byte-identical simulation results with
+tracing on or off.  Statically that decomposes into:
+
+* ``repro.obs`` never *writes* simulation state — no attribute
+  assignment on sim objects beyond the sanctioned hook attributes
+  (OBS001), no mutating method calls on them (OBS002), no RNG use
+  (OBS004).
+* The simulation core never imports ``repro.obs`` (OBS003) — protocols
+  see observability only as the opaque ``self.obs`` hook, so the
+  dependency cannot invert.
+
+"Simulation object" is resolved by a per-function taint walk: function
+parameters (other than ``self``), names derived from them, and
+``self.<attr>`` for the attrs observers stash sim objects in
+(``config.OBS_SIM_SELF_ATTRS``).  Names bound to locally-constructed
+values (calls, literals) are exempt — an observer mutating its own
+report rows is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis import config
+from repro.analysis.astutil import root_of, type_checking_lines
+from repro.analysis.findings import CheckContext, Finding
+
+_LOCAL_VALUE_TYPES = (
+    ast.Call,
+    ast.Dict,
+    ast.List,
+    ast.Set,
+    ast.Tuple,
+    ast.Constant,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.BinOp,
+    ast.JoinedStr,
+)
+
+
+class _Scope:
+    """Taint state of one function body."""
+
+    def __init__(self, params: list[str]):
+        self.derived: set[str] = {p for p in params if p not in ("self", "cls")}
+        self.local: set[str] = set()
+
+    def is_sim_rooted(self, node: ast.AST) -> bool:
+        root = root_of(node)
+        if root is None:
+            return False
+        kind, name = root
+        if kind == "self_attr":
+            return name in config.OBS_SIM_SELF_ATTRS
+        if name in self.derived:
+            return True
+        return False
+
+
+def _bind(scope: _Scope, target: ast.AST, value: ast.AST) -> None:
+    """Record what an assignment teaches us about a name."""
+    if not isinstance(target, ast.Name):
+        return
+    if isinstance(value, _LOCAL_VALUE_TYPES):
+        # Locally constructed — but a call *on* a sim object returns
+        # sim state often enough that `x = replica.foo()` stays exempt
+        # only because observers read values, not objects, that way.
+        scope.local.add(target.id)
+        scope.derived.discard(target.id)
+    elif isinstance(value, (ast.Name, ast.Attribute, ast.Subscript)):
+        if scope.is_sim_rooted(value):
+            scope.derived.add(target.id)
+            scope.local.discard(target.id)
+
+
+def _collect_bindings(scope: _Scope, func: ast.AST) -> None:
+    """Two-pass taint: gather every binding before flagging uses."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _bind(scope, target, node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            _bind(scope, node.target, node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if scope.is_sim_rooted(node.iter):
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        scope.derived.add(name_node.id)
+
+
+class PurityVisitor(ast.NodeVisitor):
+    """Emits OBS001/OBS002/OBS004 findings for one repro.obs file."""
+
+    def __init__(self, context: CheckContext):
+        self.ctx = context
+        self.findings: list[Finding] = []
+        self._scopes: list[_Scope] = []
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.ctx.active_rules:
+            self.findings.append(self.ctx.make(rule, node, message))
+
+    def _scope(self) -> Optional[_Scope]:
+        return self._scopes[-1] if self._scopes else None
+
+    def _visit_function(self, node) -> None:
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        scope = _Scope(params)
+        _collect_bindings(scope, node)
+        self._scopes.append(scope)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _describe(self, node: ast.AST) -> str:
+        try:
+            return ast.unparse(node)
+        except Exception:
+            return "a simulation object"
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_attr_write(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_attr_write(node.target)
+        self.generic_visit(node)
+
+    def _check_attr_write(self, target: ast.AST) -> None:
+        scope = self._scope()
+        if scope is None or not isinstance(target, ast.Attribute):
+            return
+        if target.attr in config.OBS_HOOK_ATTRS:
+            return
+        if scope.is_sim_rooted(target.value):
+            self._emit(
+                "OBS001",
+                target,
+                f"observer assigns `{self._describe(target)}` on a "
+                "simulation object; only the hook attributes "
+                f"({', '.join(sorted(config.OBS_HOOK_ATTRS))}) may be set",
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        scope = self._scope()
+        if (
+            scope is not None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in config.MUTATING_METHODS
+            and scope.is_sim_rooted(node.func.value)
+        ):
+            self._emit(
+                "OBS002",
+                node,
+                f"observer calls mutating `{self._describe(node.func)}()` "
+                "on a simulation object (observer-only contract)",
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "rng":
+            self._emit(
+                "OBS004",
+                node,
+                "observer reaches into an RNG (`.rng`); observers must "
+                "not consume or expose randomness",
+            )
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._emit(
+                    "OBS004", node, "observer imports the random module"
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._emit("OBS004", node, "observer imports from the random module")
+        self.generic_visit(node)
+
+
+def check(context: CheckContext, tree: ast.AST) -> list[Finding]:
+    """Run the OBS family over one parsed file."""
+    findings: list[Finding] = []
+    if {"OBS001", "OBS002", "OBS004"} & context.active_rules:
+        visitor = PurityVisitor(context)
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    if "OBS003" in context.active_rules:
+        findings.extend(_check_obs_imports(context, tree))
+    return findings
+
+
+def _check_obs_imports(context: CheckContext, tree: ast.AST) -> list[Finding]:
+    """OBS003: the simulation core must not import repro.obs."""
+    exempt = type_checking_lines(tree)
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        imported: Optional[str] = None
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.obs" or alias.name.startswith("repro.obs."):
+                    imported = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro.obs" or module.startswith("repro.obs."):
+                imported = module
+            elif module == "repro":
+                for alias in node.names:
+                    if alias.name == "obs":
+                        imported = "repro.obs"
+        if imported is None or node.lineno in exempt:
+            continue
+        findings.append(
+            context.make(
+                "OBS003",
+                node,
+                f"simulation module imports {imported}; protocols reach "
+                "observability only through the self.obs hook API",
+            )
+        )
+    return findings

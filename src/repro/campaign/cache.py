@@ -135,6 +135,26 @@ class ResultCache:
         )
         self.stats.stores += 1
 
+    def size(self) -> tuple[int, int]:
+        """Current on-disk footprint: ``(result entries, total bytes)``.
+
+        Bytes cover both the pickled results and their JSON sidecars —
+        what deleting the directory would actually reclaim.
+        """
+        entries = 0
+        total_bytes = 0
+        if not self.root.exists():
+            return entries, total_bytes
+        for path in self.root.glob("*/*"):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue  # evicted concurrently
+            total_bytes += size
+            if path.suffix == ".pkl":
+                entries += 1
+        return entries, total_bytes
+
     def evict(self, key: str) -> None:
         """Remove one entry (stale or corrupt)."""
         for path in (self._path(key), self._meta_path(key)):

@@ -222,6 +222,8 @@ def run_campaign(options: CampaignOptions) -> CampaignResult:
         echo=echo,
     )
     stats.plan_seconds = plan_seconds
+    if cache is not None:
+        stats.cache_entries, stats.cache_bytes = cache.size()
 
     aggregate_started = time.perf_counter()
     outcomes: list[ExperimentOutcome] = []

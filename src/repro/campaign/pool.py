@@ -65,6 +65,8 @@ class ExecutionStats:
     inline_misses: int = 0  # aggregation-time runs the plan did not cover
     workers: int = 1  # pool width actually used (1 = serial)
     pool_fallback: bool = False  # pool unavailable, ran serial instead
+    cache_entries: int = 0  # results on disk after the run
+    cache_bytes: int = 0  # on-disk footprint (results + sidecars)
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     aggregate_seconds: float = 0.0

@@ -17,6 +17,18 @@ from typing import Any
 from repro.campaign.engine import CampaignOptions, CampaignResult
 
 
+def _format_bytes(size: int) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            if unit == "B":
+                return f"{int(value)} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    return f"{int(size)} B"
+
+
 def render_summary(result: CampaignResult) -> str:
     """Human-readable campaign summary (stderr; not byte-stable)."""
     stats = result.stats
@@ -29,6 +41,13 @@ def render_summary(result: CampaignResult) -> str:
         f"  workers     : {stats.workers}"
         + (" (pool unavailable; ran serially)" if stats.pool_fallback else ""),
     ]
+    if result.options.cache_dir is not None:
+        lines.insert(
+            4,
+            f"  cache size  : {stats.cache_entries} entr"
+            f"{'y' if stats.cache_entries == 1 else 'ies'}, "
+            f"{_format_bytes(stats.cache_bytes)} on disk",
+        )
     if stats.verified or stats.verify_failures:
         lines.append(
             f"  verified    : {stats.verified} spot-check(s), "
@@ -71,6 +90,8 @@ def report_jsonable(result: CampaignResult) -> dict[str, Any]:
             "inline_misses": stats.inline_misses,
             "workers": stats.workers,
             "pool_fallback": stats.pool_fallback,
+            "cache_entries": stats.cache_entries,
+            "cache_bytes": stats.cache_bytes,
             **stats.merge_timings(),
         },
         "headlines": result.headlines,

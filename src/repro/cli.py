@@ -6,6 +6,7 @@ Usage::
     repro-experiments all --quick           # everything, scaled-down
     repro-experiments campaign --jobs 4     # parallel, cached campaign
     repro-experiments campaign --check      # gate against BENCH_* baselines
+    repro-experiments lint --check          # detlint determinism/purity gate
     repro-experiments --list
 """
 
@@ -21,6 +22,13 @@ from repro.experiments.registry import EXPERIMENTS
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # detlint has its own option surface (rule filters, baseline
+        # handling); hand the remaining arguments straight to it.
+        from repro.analysis import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the IDEM paper's figures and tables.",
@@ -32,8 +40,9 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10), "
             "'all', 'campaign' for a parallel cached campaign, 'chaos' for a "
-            "randomized fault-injection run, or 'trace' for a traced run with "
-            "request-lifecycle analysis"
+            "randomized fault-injection run, 'trace' for a traced run with "
+            "request-lifecycle analysis, or 'lint' for the detlint "
+            "determinism/purity static-analysis pass"
         ),
     )
     parser.add_argument(

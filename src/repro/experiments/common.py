@@ -3,10 +3,9 @@
 Runs are averaged over multiple seeds like the paper averages over three
 runs (Section 7.1).  Durations and run counts scale down in *quick* mode
 (used by the test suite); explicit ``runs``/``duration`` arguments win,
-and environment variables act as default-only fallbacks:
-
-* ``REPRO_RUNS`` — seeded runs per data point (default 2).
-* ``REPRO_DURATION`` — measured run length in simulated seconds.
+and environment variables act as default-only fallbacks (``REPRO_RUNS``,
+``REPRO_DURATION`` — read via :mod:`repro.experiments.settings`, the
+single sanctioned environment access point).
 
 Every simulation an experiment needs goes through :func:`execute_run`
 (and :func:`execute_tab1_cell` for Table 1's traffic cells).  By default
@@ -19,7 +18,6 @@ identical whether results are computed inline or fanned out.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional, Protocol
@@ -29,15 +27,12 @@ from repro.cluster.metrics import ExperimentResult
 from repro.cluster.profile import ClusterProfile
 from repro.cluster.runner import RunSpec, run_experiment
 
+# Environment access lives in repro.experiments.settings (the single
+# module detlint's DET004 allows to read os.environ); these re-exports
+# keep the long-standing import path working.
+from repro.experiments.settings import default_duration, default_runs
 
-def default_runs() -> int:
-    """Seeded runs per data point (paper: 3; default here: 2)."""
-    return int(os.environ.get("REPRO_RUNS", "2"))
-
-
-def default_duration() -> float:
-    """Simulated seconds per steady-state run."""
-    return float(os.environ.get("REPRO_DURATION", "1.0"))
+__all__ = ["default_duration", "default_runs"]  # re-exported settings
 
 
 class ExperimentExecutor(Protocol):

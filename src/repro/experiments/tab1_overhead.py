@@ -15,11 +15,10 @@ also report the projection to the paper's 1M requests for comparison.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
 from repro.cluster.builder import build_cluster
-from repro.experiments import common
+from repro.experiments import common, settings
 
 LOADS = [("medium (0.5x)", 25), ("high (1x)", 50), ("overload (4x)", 200)]
 SYSTEMS = ["idem-nopr", "idem"]
@@ -68,7 +67,7 @@ class Tab1Data:
 def default_requests(quick: bool) -> int:
     if quick:
         return 20_000
-    return int(os.environ.get("REPRO_TAB1_REQUESTS", "200000"))
+    return settings.tab1_requests()
 
 
 def measure_cell(

@@ -98,7 +98,13 @@ class Network:
         self._crashed.discard(address)
         self._egress_free_at.pop(address, None)
         self._latency_scale.pop(address, None)
-        stale = [pair for pair in self._partitions if address in pair]
+        # Deterministic sweep order (DET005): partition pairs contain
+        # str-keyed Addresses, so raw set order varies with the hash seed.
+        stale = [
+            pair
+            for pair in sorted(self._partitions, key=lambda pair: (pair[0], pair[1]))
+            if address in pair
+        ]
         for pair in stale:
             self._partitions.discard(pair)
 

@@ -1,5 +1,9 @@
 """Reproducibility: identical seeds give bit-identical results."""
 
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.cluster.runner import RunSpec, run_experiment
@@ -68,3 +72,38 @@ def test_reproducible_across_crashes():
         )
 
     assert result_fingerprint(run()) == result_fingerprint(run())
+
+
+def _run_fig2_with_hash_seed(hash_seed: str) -> str:
+    """Render fig2 (tiny settings) in a subprocess with PYTHONHASHSEED set."""
+    code = (
+        "from repro.experiments import fig2_existing_protocols as fig2\n"
+        "data = fig2.run(quick=True, runs=1, duration=0.2)\n"
+        "print(fig2.render(data))\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_fig2_byte_identical_across_hash_seeds():
+    """Hash randomization must not leak into experiment output.
+
+    Set iteration order (and str hashing generally) varies with
+    PYTHONHASHSEED; detlint's DET005 guards the known sites statically,
+    and this test pins the end-to-end property: the same seeded fig2
+    sweep renders byte-identically under different hash seeds.
+    """
+    out_a = _run_fig2_with_hash_seed("1")
+    out_b = _run_fig2_with_hash_seed("4242")
+    assert "paxos" in out_a  # the run actually produced the table
+    assert out_a == out_b
