@@ -62,6 +62,9 @@ RULE_SCOPES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "CAMP001": (("repro.campaign",), ()),
     "CAMP002": (("repro.campaign",), ()),
     "CAMP003": (("repro.campaign",), ()),
+    # Hot-path hygiene: only where the dispatch/send loops live.  The
+    # rest of the tree is free to prefer clarity over loop-hoisting.
+    "PERF001": (("repro.sim", "repro.net"), ()),
 }
 
 #: Attributes the observability layer is allowed to assign on simulation

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional
 
-from repro.analysis import camp, config, det, purity
+from repro.analysis import camp, config, det, perfrule, purity
 from repro.analysis.baseline import Baseline
 from repro.analysis.findings import CheckContext, Finding
 from repro.analysis.pragmas import parse_pragmas
@@ -17,6 +17,7 @@ _FAMILY_CHECKERS = {
     "DET": det.check,
     "OBS": purity.check,
     "CAMP": camp.check,
+    "PERF": perfrule.check,
 }
 
 

@@ -128,11 +128,21 @@ _RULE_LIST = [
         "differently; every json.dumps in repro.campaign must pass "
         "sort_keys=True.",
     ),
+    Rule(
+        "PERF001",
+        "PERF",
+        "hot callable reached through an attribute chain inside a loop",
+        "Dispatch loops in the simulation core run millions of "
+        "iterations; re-resolving a multi-hop attribute chain (or a "
+        "heapq module attribute) to a known-hot callable on every "
+        "iteration costs measurable wall time — bind it to a local "
+        "before the loop.",
+    ),
 ]
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}
 
-FAMILIES = ("DET", "OBS", "CAMP")
+FAMILIES = ("DET", "OBS", "CAMP", "PERF")
 
 
 def rule_ids() -> list[str]:

@@ -51,8 +51,14 @@ from repro.campaign.pool import (
     ExecutionStats,
     execute_jobs,
     execute_payload,
+    job_profile,
 )
-from repro.campaign.report import render_summary, report_jsonable, write_report
+from repro.campaign.report import (
+    render_slowest,
+    render_summary,
+    report_jsonable,
+    write_report,
+)
 
 __all__ = [
     "BaselineEntry",
@@ -74,10 +80,12 @@ __all__ = [
     "execute_payload",
     "extract_headlines",
     "job_key",
+    "job_profile",
     "load_baseline",
     "payload_to_spec",
     "plan_campaign",
     "plan_experiment",
+    "render_slowest",
     "render_summary",
     "report_jsonable",
     "resolve_experiment_ids",

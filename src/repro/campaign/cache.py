@@ -113,8 +113,20 @@ class ResultCache:
         self.stats.hits += 1
         return result
 
-    def store(self, key: str, result: Any, job: Optional[Job] = None) -> None:
-        """Persist one result (and a human-readable sidecar)."""
+    def store(
+        self,
+        key: str,
+        result: Any,
+        job: Optional[Job] = None,
+        profile: Optional[dict[str, Any]] = None,
+    ) -> None:
+        """Persist one result (and a human-readable sidecar).
+
+        ``profile`` is the job's performance profile (wall time,
+        dispatched events, …); it rides in the sidecar so later
+        campaigns can surface the cost of cached jobs without
+        re-running them (``campaign --report --slowest K``).
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(".pkl.tmp")
@@ -130,10 +142,25 @@ class ResultCache:
         if job is not None:
             meta["kind"] = job.kind
             meta["label"] = job.label
+        if profile is not None:
+            meta["profile"] = profile
         self._meta_path(key).write_text(
             json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
         self.stats.stores += 1
+
+    def load_profile(self, key: str) -> Optional[dict[str, Any]]:
+        """The performance profile recorded when ``key`` was executed.
+
+        Read from the JSON sidecar; ``None`` when the entry predates
+        profiling or the sidecar is unreadable.
+        """
+        try:
+            meta = json.loads(self._meta_path(key).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        profile = meta.get("profile")
+        return profile if isinstance(profile, dict) else None
 
     def size(self) -> tuple[int, int]:
         """Current on-disk footprint: ``(result entries, total bytes)``.

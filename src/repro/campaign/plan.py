@@ -44,7 +44,9 @@ from repro.workload.ycsb import YcsbProfile
 
 # Bump when the payload format or result layout changes incompatibly;
 # old cache entries then simply stop matching.
-CACHE_SCHEMA = 1
+# Schema history: 2 — ExperimentResult gained sim_stats (event-loop
+# execution profile), changing pickles and result fingerprints.
+CACHE_SCHEMA = 2
 
 KIND_SIM = "sim"
 KIND_CELL = "tab1-cell"

@@ -46,9 +46,39 @@ def execute_payload(kind: str, payload: dict[str, Any]) -> Any:
     raise ValueError(f"unknown job kind {kind!r}")
 
 
-def _pool_worker(item: tuple[str, str, dict[str, Any]]) -> tuple[str, Any]:
+def _pool_worker(item: tuple[str, str, dict[str, Any]]) -> tuple[str, Any, float]:
     key, kind, payload = item
-    return key, execute_payload(kind, payload)
+    started = time.perf_counter()
+    result = execute_payload(kind, payload)
+    return key, result, time.perf_counter() - started
+
+
+def job_profile(
+    job: Job, result: Any, wall_seconds: float, cached: bool = False
+) -> dict[str, Any]:
+    """Performance profile of one executed job.
+
+    Pairs worker wall time with the simulator's own counters
+    (``ExperimentResult.sim_stats``); written into the cache sidecar so
+    the cost survives for later ``--slowest`` reports.  Non-simulation
+    jobs (tab1 cells) profile wall time only.
+    """
+    sim = getattr(result, "sim_stats", None) or {}
+    dispatched = sim.get("dispatched_events")
+    events_per_sec = None
+    if dispatched and wall_seconds > 0:
+        events_per_sec = dispatched / wall_seconds
+    return {
+        "key": job.key,
+        "label": job.label,
+        "kind": job.kind,
+        "wall_seconds": wall_seconds,
+        "dispatched_events": dispatched,
+        "events_per_sec": events_per_sec,
+        "peak_heap": sim.get("peak_heap"),
+        "drained_tombstones": sim.get("drained_tombstones"),
+        "cached": cached,
+    }
 
 
 @dataclass
@@ -70,6 +100,10 @@ class ExecutionStats:
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
     aggregate_seconds: float = 0.0
+    # Per-job performance profiles (see job_profile): fresh runs are
+    # timed directly, cache hits carry the profile recorded in their
+    # sidecar when they originally executed.
+    job_profiles: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -116,6 +150,9 @@ def execute_jobs(
         else:
             results[key] = cached
             stats.cache_hits += 1
+            profile = cache.load_profile(key)
+            if profile is not None:
+                stats.job_profiles.append({**profile, "cached": True})
 
     _verify_sample(results, unique, cache, verify_fraction, stats, echo)
 
@@ -126,10 +163,12 @@ def execute_jobs(
         )
         executed = _execute_pending(pending, stats, echo)
         for job in pending:
-            result = executed[job.key]
+            result, wall_seconds = executed[job.key]
             results[job.key] = result
+            profile = job_profile(job, result, wall_seconds)
+            stats.job_profiles.append(profile)
             if cache is not None:
-                cache.store(job.key, result, job)
+                cache.store(job.key, result, job, profile=profile)
                 stats.stored += 1
     stats.execute_seconds = time.perf_counter() - started
     return results, stats
@@ -137,8 +176,11 @@ def execute_jobs(
 
 def _execute_pending(
     pending: list[Job], stats: ExecutionStats, echo: Callable[[str], None]
-) -> dict[str, Any]:
-    """Run the cache misses, in parallel when possible; keyed by job hash."""
+) -> dict[str, tuple[Any, float]]:
+    """Run the cache misses, in parallel when possible.
+
+    Returns ``{job key: (result, wall seconds)}``.
+    """
     if stats.workers > 1 and len(pending) > 1:
         try:
             return _execute_parallel(pending, stats, echo)
@@ -148,19 +190,21 @@ def _execute_pending(
     return {job.key: _execute_one(job, stats) for job in pending}
 
 
-def _execute_one(job: Job, stats: ExecutionStats) -> Any:
+def _execute_one(job: Job, stats: ExecutionStats) -> tuple[Any, float]:
+    started = time.perf_counter()
     result = execute_payload(job.kind, dict(job.payload))
+    wall_seconds = time.perf_counter() - started
     stats.executed += 1
-    return result
+    return result, wall_seconds
 
 
 def _execute_parallel(
     pending: list[Job], stats: ExecutionStats, echo: Callable[[str], None]
-) -> dict[str, Any]:
+) -> dict[str, tuple[Any, float]]:
     """Fan the pending jobs out over a spawn pool; keyed merge."""
     items = [(job.key, job.kind, dict(job.payload)) for job in pending]
     by_key = {job.key: job for job in pending}
-    executed: dict[str, Any] = {}
+    executed: dict[str, tuple[Any, float]] = {}
     context = get_context("spawn")
     with ProcessPoolExecutor(
         max_workers=min(stats.workers, len(items)), mp_context=context
@@ -169,8 +213,8 @@ def _execute_parallel(
         while futures:
             done, futures = wait(futures, return_when=FIRST_COMPLETED)
             for future in done:
-                key, result = future.result()
-                executed[key] = result
+                key, result, wall_seconds = future.result()
+                executed[key] = (result, wall_seconds)
                 stats.executed += 1
                 echo(f"campaign: finished {by_key[key].label}")
     return executed

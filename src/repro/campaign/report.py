@@ -71,6 +71,38 @@ def render_summary(result: CampaignResult) -> str:
     return "\n".join(lines)
 
 
+def render_slowest(result: CampaignResult, k: int) -> str:
+    """The top-``k`` most expensive jobs of the campaign (stderr).
+
+    Profiles come from :func:`repro.campaign.pool.job_profile`: fresh
+    runs are timed in the worker, cache hits report the wall time
+    recorded in their sidecar when they originally executed.
+    """
+    profiles = [
+        profile
+        for profile in result.stats.job_profiles
+        if profile.get("wall_seconds") is not None
+    ]
+    profiles.sort(key=lambda profile: profile["wall_seconds"], reverse=True)
+    top = profiles[:k]
+    lines = [f"Slowest {len(top)} of {len(profiles)} profiled job(s):"]
+    if not top:
+        lines.append("  (no job profiles recorded)")
+        return "\n".join(lines)
+    lines.append("  wall      events     ev/s        job")
+    for profile in top:
+        dispatched = profile.get("dispatched_events")
+        rate = profile.get("events_per_sec")
+        events_text = f"{dispatched:>9,}" if dispatched is not None else "        -"
+        rate_text = f"{rate:>10,.0f}" if rate else "         -"
+        cached_text = " (cached)" if profile.get("cached") else ""
+        lines.append(
+            f"  {profile['wall_seconds']:7.2f}s {events_text}  {rate_text}  "
+            f"{profile['label']}{cached_text}"
+        )
+    return "\n".join(lines)
+
+
 def report_jsonable(result: CampaignResult) -> dict[str, Any]:
     """The machine-readable campaign report (CI artifact)."""
     options: CampaignOptions = result.options
@@ -94,6 +126,7 @@ def report_jsonable(result: CampaignResult) -> dict[str, Any]:
             "cache_bytes": stats.cache_bytes,
             **stats.merge_timings(),
         },
+        "job_profiles": stats.job_profiles,
         "headlines": result.headlines,
         "baseline": (
             None

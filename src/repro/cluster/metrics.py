@@ -140,6 +140,11 @@ class ExperimentResult:
     # Kept out of replica_stats so that every field above is identical
     # with tracing on or off (the observer-only invariant).
     obs: Optional[object] = None
+    # Simulator-side execution profile of the run: dispatched_events,
+    # peak_heap and drained_tombstones from the event loop.  All three
+    # are deterministic for a given spec; campaign workers pair them
+    # with wall time to build per-job performance profiles.
+    sim_stats: Optional[dict] = None
 
     @property
     def latency_ms(self) -> float:

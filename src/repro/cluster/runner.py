@@ -111,4 +111,9 @@ def collect_result(
             checker.finish(cluster, lag_slack=2.0) if checker is not None else None
         ),
         obs=hub,
+        sim_stats={
+            "dispatched_events": cluster.loop.dispatched_events,
+            "peak_heap": cluster.loop.peak_heap,
+            "drained_tombstones": cluster.loop.drained_tombstones,
+        },
     )

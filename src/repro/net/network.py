@@ -159,36 +159,46 @@ class Network:
         """Send ``message`` from ``src`` to ``dst`` over the fabric.
 
         Traffic is metered at send time whenever the sender is alive
-        (bytes hit the wire even if the message is later lost).
+        (bytes hit the wire even if the message is later lost).  The
+        message is sized exactly once per send — ``size_bytes()`` walks
+        the payload, so the meter, the tracer and the serialisation
+        delay all share one measurement.
         """
         if src in self._crashed:
             return
-        self.traffic.record(src, dst, message.type_name(), message.size_bytes())
+        size = message.size_bytes()
+        type_name = message.type_name()
+        self.traffic.record(src, dst, type_name, size)
         if self.tracer is not None:
             self.tracer.record(
-                self._loop.now,
-                src,
-                dst,
-                message.type_name(),
-                message.size_bytes(),
-                message_rids(message),
+                self._loop.now, src, dst, type_name, size, message_rids(message)
             )
+        self._transmit(src, dst, message, size)
+
+    def _transmit(self, src: Address, dst: Address, message: Message, size: int) -> None:
+        """Drop checks, latency sampling and delivery scheduling for one link.
+
+        Shared tail of :meth:`send` and :meth:`multicast`; per-link
+        randomness is drawn in the same order as a serial ``send`` loop
+        (loss coin flip, then latency sample) so the two paths are
+        byte-identical under a fixed seed.
+        """
         if dst in self._crashed or dst not in self._nodes:
             self.dropped_messages += 1
             return
         if (src, dst) in self._partitions:
             self.dropped_messages += 1
             return
-        if self.loss_probability > 0.0 and self._loss_rng.random() < self.loss_probability:
+        loss = self.loss_probability
+        if loss > 0.0 and self._loss_rng.random() < loss:
             self.dropped_messages += 1
             return
         delay = self.latency_model.sample(self._latency_rng)
-        if self._latency_scale:
-            delay *= self._latency_scale.get(src, 1.0) * self._latency_scale.get(
-                dst, 1.0
-            )
+        scale = self._latency_scale
+        if scale:
+            delay *= scale.get(src, 1.0) * scale.get(dst, 1.0)
         if self.egress_bandwidth is not None:
-            delay += self._serialization_delay(src, message.size_bytes())
+            delay += self._serialization_delay(src, size)
         self._loop.call_after(delay, self._deliver, src, dst, message)
 
     def _serialization_delay(self, src: Address, size: int) -> float:
@@ -208,9 +218,27 @@ class Network:
         return max(0.0, self._egress_free_at.get(src, 0.0) - self._loop.now)
 
     def multicast(self, src: Address, dsts: list[Address], message: Message) -> None:
-        """Send the same message to every destination (independent links)."""
+        """Send the same message to every destination (independent links).
+
+        Equivalent to a serial ``send`` loop — same metering, same
+        per-destination randomness order — but the message is sized and
+        type-named once for the whole fan-out instead of per
+        destination, and the hot callables are bound outside the loop.
+        """
+        if src in self._crashed:
+            return
+        size = message.size_bytes()
+        type_name = message.type_name()
+        record_traffic = self.traffic.record
+        tracer = self.tracer
+        rids = message_rids(message) if tracer is not None else None
+        now = self._loop.now
+        transmit = self._transmit
         for dst in dsts:
-            self.send(src, dst, message)
+            record_traffic(src, dst, type_name, size)
+            if tracer is not None:
+                tracer.record(now, src, dst, type_name, size, rids)
+            transmit(src, dst, message, size)
 
     def _deliver(self, src: Address, dst: Address, message: Message) -> None:
         # Re-check state at delivery time: the destination may have

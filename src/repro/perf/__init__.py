@@ -1,0 +1,20 @@
+"""Simulator performance harness.
+
+Named microbenchmark scenarios over the discrete-event core
+(:mod:`repro.perf.scenarios`), a runner with a committed events/sec
+baseline gate (:mod:`repro.perf.runner`), and the ``repro-experiments
+perf`` CLI.  This package deliberately lives *outside* the simulation
+core: it reads the wall clock, which the DET rules forbid inside
+anything that runs under the event loop.
+"""
+
+from repro.perf.runner import (  # noqa: F401
+    SCENARIOS,
+    PerfCheckReport,
+    check_perf_baseline,
+    render_results,
+    results_jsonable,
+    run_scenarios,
+    write_perf_baseline,
+)
+from repro.perf.scenarios import PerfResult  # noqa: F401

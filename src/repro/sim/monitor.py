@@ -71,7 +71,12 @@ def _percentile(ordered: list[float], q: float) -> float:
     low = int(position)
     high = min(low + 1, len(ordered) - 1)
     fraction = position - low
-    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    lo = ordered[low]
+    # lo + f*(hi-lo) rather than lo*(1-f) + hi*f: the latter underflows
+    # to 0.0 for denormal samples (0.5 * 5e-324 rounds to zero), which
+    # can report a percentile below the sample minimum.  This form
+    # returns lo exactly when lo == hi.
+    return lo + fraction * (ordered[high] - lo)
 
 
 class LatencyRecorder:

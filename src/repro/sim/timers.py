@@ -7,6 +7,17 @@ Protocol code mostly needs two shapes of timer:
 * :class:`RestartableTimer` — the view-change / progress timer pattern:
   a fixed delay that is repeatedly restarted while progress is observed
   and fires only when left alone for a full period.
+
+Both use a **lazy-deadline** scheme.  A naive re-arm cancels the pending
+heap entry and pushes a fresh one, which on a progress timer means one
+tombstone plus one ``heappush`` per *observation* — millions per
+saturated run.  Instead the timer keeps the authoritative expiry in a
+``deadline`` field and leaves the already-scheduled heap entry alone
+whenever it fires no later than the new deadline.  When that entry
+fires early, ``_fire`` notices the deadline has moved and reschedules
+itself for the remainder; the callback still runs exactly at the
+deadline, but re-arming is now a float assignment instead of heap
+churn.
 """
 
 from __future__ import annotations
@@ -20,8 +31,10 @@ class Timer:
     """A one-shot, re-armable timer.
 
     ``start(delay)`` schedules the callback; starting an already-running
-    timer cancels the pending expiry first, so at most one expiry is
-    outstanding at any time.
+    timer replaces the previous expiry, so at most one expiry is
+    outstanding at any time.  At most one heap entry exists per timer
+    (the lazy-deadline scheme above), so a timer re-armed a million
+    times still occupies a single slot in the loop's heap.
     """
 
     def __init__(self, loop: EventLoop, callback: Callable[..., Any], *args: Any):
@@ -29,25 +42,54 @@ class Timer:
         self._callback = callback
         self._args = args
         self._event: Optional[Event] = None
+        self._deadline: Optional[float] = None
 
     @property
     def running(self) -> bool:
         """Whether an expiry is currently scheduled."""
-        return self._event is not None and not self._event.cancelled
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute simulated time of the pending expiry, or ``None``."""
+        return self._deadline
 
     def start(self, delay: float) -> None:
         """Arm the timer to fire after ``delay`` seconds, replacing any pending expiry."""
-        self.cancel()
-        self._event = self._loop.call_after(delay, self._fire)
+        deadline = self._loop.now + delay
+        self._deadline = deadline
+        event = self._event
+        if event is not None and not event.cancelled and event.time <= deadline:
+            # Lazy re-arm: the pending entry fires at or before the new
+            # deadline; _fire will reschedule for the remainder then.
+            return
+        if event is not None:
+            event.cancel()
+        self._event = self._loop.call_at(deadline, self._fire)
 
     def cancel(self) -> None:
-        """Disarm the timer.  Idempotent."""
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
+        """Disarm the timer.  Idempotent.
+
+        The heap entry (if any) is left in place as a stale no-op — a
+        later :meth:`start` can reuse it, and letting it fire idle is
+        cheaper than tombstoning it on every cancel.
+        """
+        self._deadline = None
 
     def _fire(self) -> None:
+        deadline = self._deadline
+        if deadline is None:
+            # Cancelled after this entry was scheduled; nothing to do.
+            self._event = None
+            return
+        loop = self._loop
+        if deadline > loop.now:
+            # The deadline moved while this entry was in flight;
+            # reschedule for the remainder.
+            self._event = loop.call_at(deadline, self._fire)
+            return
         self._event = None
+        self._deadline = None
         self._callback(*self._args)
 
 
@@ -58,6 +100,10 @@ class RestartableTimer:
     (re)started whenever there is outstanding work, restarted whenever
     progress is observed, and stopped when the node goes idle.  The
     callback fires only if a full period elapses without a restart.
+
+    Thanks to the lazy-deadline :class:`Timer` underneath, a restart is
+    a constant-time field update — the storm of restarts a saturated
+    replica produces no longer floods the event heap with tombstones.
     """
 
     def __init__(self, loop: EventLoop, period: float, callback: Callable[..., Any], *args: Any):
@@ -70,6 +116,11 @@ class RestartableTimer:
     def running(self) -> bool:
         """Whether the timer is armed."""
         return self._timer.running
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute simulated time of the pending expiry, or ``None``."""
+        return self._timer.deadline
 
     def start(self) -> None:
         """Arm (or re-arm) the timer for one full period from now."""

@@ -202,6 +202,20 @@ FIXTURES = {
             return json.dumps(value, sort_keys=True)
         """,
     ),
+    "PERF001": (
+        "repro.net.network",
+        """\
+        def flood(self, deadlines):
+            for when in deadlines:
+                self._loop.call_at(when, self.tick)
+        """,
+        """\
+        def flood(self, deadlines):
+            call_at = self._loop.call_at
+            for when in deadlines:
+                call_at(when, self.tick)
+        """,
+    ),
 }
 
 
@@ -276,10 +290,17 @@ def test_scopes_follow_the_architecture():
     # repro.cluster composes hubs, so OBS003 spares it.
     assert not rule_applies("OBS003", "repro.cluster.runner")
     assert rule_applies("OBS003", "repro.protocols.base")
+    # PERF001 polices only the dispatch/send hot paths.
+    assert rule_applies("PERF001", "repro.sim.loop")
+    assert rule_applies("PERF001", "repro.net.network")
+    assert not rule_applies("PERF001", "repro.campaign.engine")
+    assert not rule_applies("PERF001", "repro.protocols.paxos")
 
 
 def test_rules_for_module_covers_every_family():
-    assert {"DET001", "DET005", "OBS003"} <= rules_for_module("repro.net.network")
+    assert {"DET001", "DET005", "OBS003", "PERF001"} <= rules_for_module(
+        "repro.net.network"
+    )
     assert {"OBS001", "OBS002", "OBS004"} <= rules_for_module("repro.obs.hub")
     assert {"CAMP001", "CAMP002", "CAMP003"} <= rules_for_module("repro.campaign.plan")
 
@@ -371,6 +392,49 @@ def test_det004_flags_membership_test():
         return "REPRO_RUNS" in os.environ
     """
     assert "DET004" in active_rules(lint(source, "repro.cluster.runner"))
+
+
+def test_perf001_flags_heapq_module_attribute_in_loop():
+    source = """\
+    import heapq
+    def fill(heap, items):
+        for item in items:
+            heapq.heappush(heap, item)
+    """
+    assert "PERF001" in active_rules(lint(source, "repro.sim.loop"))
+
+
+def test_perf001_spares_single_hop_and_cold_code():
+    source = """\
+    import heapq
+    class Loop:
+        def drain(self):
+            while self.heap:
+                self.pop_one()
+        def reset(self):
+            heapq.heapify(self.heap)
+    """
+    assert active_rules(lint(source, "repro.sim.loop")) == []
+
+
+def test_perf001_fresh_function_scope_inside_loop():
+    # A def inside a loop body does not run per iteration; its own
+    # non-loop body must not inherit the enclosing loop depth.
+    source = """\
+    def build(self, items):
+        handlers = []
+        for item in items:
+            def fire():
+                self._loop.call_after(0.1, item)
+            handlers.append(fire)
+        return handlers
+    """
+    assert active_rules(lint(source, "repro.net.network")) == []
+
+
+def test_perf001_out_of_scope_module_is_ignored():
+    module, positive, _ = FIXTURES["PERF001"]
+    assert active_rules(lint(positive, "repro.campaign.pool")) == []
 
 
 # -- baseline machinery -------------------------------------------------

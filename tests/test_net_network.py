@@ -169,3 +169,102 @@ def test_detach_stops_delivery():
     network.send(a.address, b.address, Probe())
     loop.run_until(1.0)
     assert b.received == []
+
+
+# -- sizing discipline and multicast equivalence ------------------------
+
+
+class CountingProbe(Probe):
+    """Probe that counts how often the fabric measures it."""
+
+    __slots__ = ("size_calls", "type_calls")
+
+    def __init__(self, size: int = 0):
+        super().__init__(size)
+        self.size_calls = 0
+        self.type_calls = 0
+
+    def size_bytes(self) -> int:
+        self.size_calls += 1
+        return super().size_bytes()
+
+    def type_name(self) -> str:
+        self.type_calls += 1
+        return super().type_name()
+
+
+def test_send_sizes_the_message_exactly_once():
+    loop, network, a, b = make_network()
+    message = CountingProbe(size=64)
+    network.send(a.address, b.address, message)
+    loop.run_until(1.0)
+    assert message.size_calls == 1
+    assert message.type_calls == 1
+    assert len(b.received) == 1
+
+
+def test_send_sizes_once_even_with_serialization_delay():
+    loop = EventLoop()
+    network = Network(
+        loop,
+        RngRegistry(1),
+        latency_model=ConstantLatency(0.001),
+        egress_bandwidth=1e6,
+    )
+    a = Sink(replica_address(0), loop)
+    b = Sink(replica_address(1), loop)
+    network.attach(a)
+    network.attach(b)
+    message = CountingProbe(size=64)
+    network.send(a.address, b.address, message)
+    loop.run_until(1.0)
+    assert message.size_calls == 1
+
+
+def test_multicast_sizes_the_message_exactly_once():
+    loop, network, a, b = make_network()
+    c = Sink(replica_address(2), loop)
+    network.attach(c)
+    message = CountingProbe(size=64)
+    network.multicast(a.address, [b.address, c.address], message)
+    loop.run_until(1.0)
+    # One measurement for the whole fan-out, not one per destination.
+    assert message.size_calls == 1
+    assert message.type_calls == 1
+    assert len(b.received) == 1 and len(c.received) == 1
+
+
+def _fanout_run(use_multicast: bool):
+    """Drive one fan-out via multicast or a serial send loop."""
+    loop = EventLoop()
+    network = Network(
+        loop,
+        RngRegistry(7),
+        loss_probability=0.2,
+    )
+    src = Sink(replica_address(0), loop)
+    network.attach(src)
+    sinks = [Sink(replica_address(i), loop) for i in range(1, 6)]
+    for sink in sinks:
+        network.attach(sink)
+    dsts = [sink.address for sink in sinks]
+    for round_no in range(50):
+        message = Probe(size=round_no)
+        if use_multicast:
+            network.multicast(src.address, dsts, message)
+        else:
+            for dst in dsts:
+                network.send(src.address, dst, message)
+        loop.run_until(loop.now + 0.01)
+    deliveries = [
+        (time, str(src_addr), probe.size)
+        for sink in sinks
+        for (time, src_addr, probe) in sink.received
+    ]
+    return deliveries, network.traffic.total_bytes, network.dropped_messages
+
+
+def test_multicast_is_equivalent_to_a_serial_send_loop():
+    # Same seed, same per-destination randomness order: delivery times,
+    # metered bytes and drop counts must match exactly.
+    assert _fanout_run(use_multicast=True) == _fanout_run(use_multicast=False)

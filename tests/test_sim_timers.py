@@ -94,3 +94,97 @@ def test_restartable_timer_rejects_non_positive_period():
     loop = EventLoop()
     with pytest.raises(ValueError):
         RestartableTimer(loop, 0.0, lambda: None)
+
+
+# -- lazy-deadline mechanics --------------------------------------------
+#
+# Restarting a timer only moves its deadline field; the pending heap
+# entry is reused when it fires no later than the new deadline.  These
+# tests pin the observable consequences: bounded heap growth under
+# restart storms and exact fire times in every reuse combination.
+
+
+def test_restart_storm_keeps_a_single_heap_entry():
+    loop = EventLoop()
+    timer = RestartableTimer(loop, 1.0, lambda: None)
+    timer.start()
+    assert loop.pending_events == 1
+    for _ in range(1000):
+        timer.restart()
+    # Postponing never schedules a second entry — the stale one is
+    # reused as a stepping stone toward the latest deadline.
+    assert loop.pending_events == 1
+
+
+def test_postponed_deadline_fires_exactly_once_at_the_new_time():
+    loop = EventLoop()
+    seen = []
+    timer = RestartableTimer(loop, 1.0, lambda: seen.append(loop.now))
+    timer.start()
+    loop.run_until(0.9)
+    timer.restart()  # deadline now 1.9; heap entry still says 1.0
+    loop.run_until(5.0)
+    assert seen == [1.9]
+
+
+def test_timer_deadline_property_tracks_restarts():
+    loop = EventLoop()
+    timer = Timer(loop, lambda: None)
+    assert timer.deadline is None
+    timer.start(0.5)
+    assert timer.deadline == 0.5
+    loop.run_until(0.2)
+    timer.start(0.5)
+    assert timer.deadline == pytest.approx(0.7)
+    timer.cancel()
+    assert timer.deadline is None
+
+
+def test_restartable_timer_deadline_property():
+    loop = EventLoop()
+    timer = RestartableTimer(loop, 2.0, lambda: None)
+    assert timer.deadline is None
+    timer.start()
+    assert timer.deadline == 2.0
+    timer.stop()
+    assert timer.deadline is None
+
+
+def test_cancel_then_restart_reuses_the_stale_entry():
+    loop = EventLoop()
+    seen = []
+    timer = Timer(loop, lambda: seen.append(loop.now))
+    timer.start(1.0)
+    timer.cancel()
+    assert not timer.running
+    # Re-arm before the stale entry fires: no new heap entry needed.
+    timer.start(2.0)
+    assert loop.pending_events == 1
+    loop.run_until(5.0)
+    assert seen == [2.0]
+
+
+def test_start_with_earlier_deadline_schedules_fresh_entry():
+    loop = EventLoop()
+    seen = []
+    timer = Timer(loop, lambda: seen.append(loop.now))
+    timer.start(2.0)
+    # Pulling the deadline *in* cannot reuse the later entry.
+    timer.start(0.5)
+    loop.run_until(5.0)
+    assert seen == [0.5]
+
+
+def test_stale_entry_fires_idle_after_cancel():
+    loop = EventLoop()
+    seen = []
+    timer = Timer(loop, seen.append, "fired")
+    timer.start(1.0)
+    timer.cancel()
+    loop.run_until(5.0)
+    # The stale entry dispatched as a no-op; the callback never ran and
+    # the timer is reusable afterwards.
+    assert seen == []
+    timer.start(1.0)
+    loop.run_until(10.0)
+    assert seen == ["fired"]
