@@ -30,6 +30,7 @@ SIM_CORE = (
     "repro.core",
     "repro.app",
     "repro.workload",
+    "repro.resilience",
 )
 
 #: Modules allowed to read os.environ (DET004): the CLI boundary and the
@@ -51,7 +52,14 @@ RULE_SCOPES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     # Hash-order-sensitive iteration matters where messages are
     # dispatched, ties broken and quorums counted.
     "DET005": (
-        ("repro.sim", "repro.net", "repro.protocols", "repro.cluster", "repro.core"),
+        (
+            "repro.sim",
+            "repro.net",
+            "repro.protocols",
+            "repro.cluster",
+            "repro.core",
+            "repro.resilience",
+        ),
         (),
     ),
     "DET006": (("repro",), ()),

@@ -27,6 +27,7 @@ from repro.campaign.baseline import (
     write_baseline,
 )
 from repro.campaign.cache import MISS, ResultCache, result_fingerprint, should_verify
+from repro.campaign.gc import GcReport, collect_garbage, record_run
 from repro.campaign.engine import (
     CachingExecutor,
     CampaignExecutor,
@@ -71,11 +72,13 @@ __all__ = [
     "CampaignResult",
     "ExecutionStats",
     "ExperimentOutcome",
+    "GcReport",
     "Job",
     "MISS",
     "ResultCache",
     "UnplannableSpec",
     "check_baselines",
+    "collect_garbage",
     "execute_jobs",
     "execute_payload",
     "extract_headlines",
@@ -85,6 +88,7 @@ __all__ = [
     "payload_to_spec",
     "plan_campaign",
     "plan_experiment",
+    "record_run",
     "render_slowest",
     "render_summary",
     "report_jsonable",

@@ -100,6 +100,21 @@ def _fig10_headlines(data: Any) -> dict[str, float]:
     return metrics
 
 
+def _figR_headlines(data: Any) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for run_ in data.runs:
+        key = f"{run_.system}.{run_.policy}"
+        # 0/1 indicators are robust to the ±15% band: they only move
+        # when the hysteresis story itself changes.
+        metrics[f"{key}.recovered"] = 1.0 if run_.recovered else 0.0
+        metrics[f"{key}.amplification"] = run_.amplification
+    chaos_violations = sum(
+        len(run_.safety_violations) for run_ in data.runs if run_.crashed
+    )
+    metrics["chaos.safety_violations"] = float(chaos_violations)
+    return metrics
+
+
 def _tab1_headlines(data: Any) -> dict[str, float]:
     metrics: dict[str, float] = {}
     loads = sorted({cell.load_label for cell in data.cells})
@@ -125,6 +140,7 @@ HEADLINE_EXTRACTORS: dict[str, Callable[[Any], dict[str, float]]] = {
     "fig8": _fig8_headlines,
     "fig9": _fig9_headlines,
     "fig10": _fig10_headlines,
+    "figR": _figR_headlines,
     "tab1": _tab1_headlines,
 }
 

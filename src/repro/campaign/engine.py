@@ -29,6 +29,7 @@ from repro.campaign.cache import (
     MISS,
     ResultCache,
 )
+from repro.campaign.gc import record_run
 from repro.campaign.plan import (
     KIND_CELL,
     KIND_SIM,
@@ -223,6 +224,8 @@ def run_campaign(options: CampaignOptions) -> CampaignResult:
     )
     stats.plan_seconds = plan_seconds
     if cache is not None:
+        # Manifest for --gc: which keys this campaign referenced.
+        record_run(cache.root, [job.key for job in jobs])
         stats.cache_entries, stats.cache_bytes = cache.size()
 
     aggregate_started = time.perf_counter()

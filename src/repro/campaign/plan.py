@@ -40,13 +40,23 @@ from repro.cluster.faults import (
 from repro.cluster.profile import ClusterProfile
 from repro.cluster.runner import RunSpec
 from repro.experiments.registry import get_experiment
+from repro.workload.open_loop import ArrivalSpec
+from repro.workload.schedule import (
+    BurstSchedule,
+    ConstantSchedule,
+    LoadSchedule,
+    StepSchedule,
+)
 from repro.workload.ycsb import YcsbProfile
 
 # Bump when the payload format or result layout changes incompatibly;
 # old cache entries then simply stop matching.
 # Schema history: 2 — ExperimentResult gained sim_stats (event-loop
 # execution profile), changing pickles and result fingerprints.
-CACHE_SCHEMA = 2
+# 3 — ExperimentResult gained client_stats (resilience counters),
+# MetricsCollector gained timeout latencies, and RunSpec payloads
+# gained schedule/arrivals entries (open-loop retry-storm runs).
+CACHE_SCHEMA = 3
 
 KIND_SIM = "sim"
 KIND_CELL = "tab1-cell"
@@ -62,6 +72,11 @@ _FAULT_TYPES = {
         SlowReplica,
         LatencySpike,
     )
+}
+
+
+_SCHEDULE_TYPES = {
+    cls.__name__: cls for cls in (ConstantSchedule, StepSchedule, BurstSchedule)
 }
 
 
@@ -145,15 +160,50 @@ def payload_to_faults(payload: list[dict[str, Any]]) -> FaultSchedule:
     return FaultSchedule(faults)
 
 
+def schedule_to_payload(schedule: LoadSchedule) -> dict[str, Any]:
+    """Serialise a built-in load schedule; like faults, every built-in
+    schedule is a frozen dataclass of primitives keyed by class name.
+    Custom :class:`LoadSchedule` subclasses stay unplannable."""
+    cls = type(schedule)
+    if _SCHEDULE_TYPES.get(cls.__name__) is not cls:
+        raise UnplannableSpec(
+            f"load schedule type {cls.__name__!r} is not campaign-serialisable"
+        )
+    entry = {"type": cls.__name__}
+    entry.update(_check_jsonable(dataclasses.asdict(schedule), cls.__name__))
+    return entry
+
+
+def payload_to_schedule(payload: dict[str, Any]) -> LoadSchedule:
+    data = dict(payload)
+    cls = _SCHEDULE_TYPES[data.pop("type")]
+    if cls is StepSchedule:
+        data["steps"] = tuple(
+            (float(time), int(clients)) for time, clients in data["steps"]
+        )
+    return cls(**data)
+
+
+def arrivals_to_payload(arrivals: ArrivalSpec) -> dict[str, Any]:
+    """Serialise an open-loop arrival plan (piecewise Poisson rates)."""
+    return {
+        "steps": [[float(time), float(rate)] for time, rate in arrivals.steps]
+    }
+
+
+def payload_to_arrivals(payload: dict[str, Any]) -> ArrivalSpec:
+    return ArrivalSpec(
+        steps=tuple((float(time), float(rate)) for time, rate in payload["steps"])
+    )
+
+
 def spec_to_payload(spec: RunSpec) -> dict[str, Any]:
     """Canonical JSON-safe description of a run spec.
 
     Raises :class:`UnplannableSpec` for specs the campaign cannot
-    faithfully reconstruct in a worker process (custom load schedules,
-    observability hubs attached to the result).
+    faithfully reconstruct in a worker process (custom load-schedule
+    subclasses, observability hubs attached to the result).
     """
-    if spec.schedule is not None:
-        raise UnplannableSpec("specs with a LoadSchedule are not campaign-serialisable")
     if spec.observe:
         raise UnplannableSpec("observed runs (spec.observe) are not cacheable")
     return {
@@ -168,6 +218,12 @@ def spec_to_payload(spec: RunSpec) -> dict[str, Any]:
         "overrides": _check_jsonable(spec.overrides, "RunSpec.overrides"),
         "profile": None if spec.profile is None else profile_to_payload(spec.profile),
         "faults": None if spec.faults is None else faults_to_payload(spec.faults),
+        "schedule": (
+            None if spec.schedule is None else schedule_to_payload(spec.schedule)
+        ),
+        "arrivals": (
+            None if spec.arrivals is None else arrivals_to_payload(spec.arrivals)
+        ),
     }
 
 
@@ -188,6 +244,16 @@ def payload_to_spec(payload: dict[str, Any]) -> RunSpec:
         ),
         faults=(
             None if payload["faults"] is None else payload_to_faults(payload["faults"])
+        ),
+        schedule=(
+            None
+            if payload["schedule"] is None
+            else payload_to_schedule(payload["schedule"])
+        ),
+        arrivals=(
+            None
+            if payload["arrivals"] is None
+            else payload_to_arrivals(payload["arrivals"])
         ),
     )
 

@@ -38,7 +38,8 @@ def main(argv: list[str] | None = None) -> int:
         nargs="?",
         default="all",
         help=(
-            "experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10), "
+            "experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10, "
+            "figR), "
             "'all', 'campaign' for a parallel cached campaign, 'chaos' for a "
             "randomized fault-injection run, 'trace' for a traced run with "
             "request-lifecycle analysis, 'perf' for the simulator "
@@ -152,6 +153,28 @@ def main(argv: list[str] | None = None) -> int:
         help="list the K most expensive jobs from the per-job profiles "
         "(campaign only; stderr)",
     )
+    campaign.add_argument(
+        "--gc",
+        action="store_true",
+        help="garbage-collect the result cache (prune entries no recent "
+        "campaign referenced) and exit without running anything",
+    )
+    campaign.add_argument(
+        "--gc-keep",
+        type=int,
+        default=5,
+        metavar="N",
+        help="with --gc: keep every entry the last N campaign runs "
+        "referenced (default: 5)",
+    )
+    campaign.add_argument(
+        "--gc-max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="with --gc: additionally remove entries older than DAYS, "
+        "referenced or not",
+    )
     perf = parser.add_argument_group("perf options")
     perf.add_argument(
         "--scenarios",
@@ -234,6 +257,25 @@ def run_campaign_command(args) -> int:
 
     def echo(message: str) -> None:
         print(message, file=sys.stderr)
+
+    if args.gc:
+        from repro.campaign import ResultCache
+        from repro.campaign.gc import collect_garbage
+
+        if args.no_cache:
+            print("campaign: --gc is meaningless with --no-cache", file=sys.stderr)
+            return 2
+        try:
+            report = collect_garbage(
+                ResultCache(args.cache_dir),
+                keep_runs=args.gc_keep,
+                max_age_days=args.gc_max_age_days,
+            )
+        except ValueError as error:  # bad --gc-keep
+            print(f"campaign: {error}", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0
 
     try:
         options = CampaignOptions(

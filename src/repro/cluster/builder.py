@@ -182,6 +182,37 @@ class Cluster:
             stats.append(entry)
         return stats
 
+    def client_stats(self) -> dict[str, float]:
+        """Aggregate client-side resilience counters over all clients.
+
+        ``load_amplification`` is the run's send amplification: every
+        request copy put on the wire (first sends, retransmits,
+        failovers, retries, hedges) divided by distinct commands.
+        """
+        totals = {
+            "commands": 0,
+            "sends": 0,
+            "retries": 0,
+            "hedges": 0,
+            "give_ups": 0,
+            "successes": 0,
+            "rejections": 0,
+            "timeouts": 0,
+        }
+        for client in self.clients:
+            totals["commands"] += client.commands_started
+            totals["sends"] += client.sends
+            totals["retries"] += client.retries
+            totals["hedges"] += client.hedges
+            totals["give_ups"] += client.give_ups
+            totals["successes"] += client.successes
+            totals["rejections"] += client.rejections
+            totals["timeouts"] += client.timeouts
+        totals["load_amplification"] = (
+            totals["sends"] / totals["commands"] if totals["commands"] else 1.0
+        )
+        return totals
+
     def stop_clients(self) -> None:
         """Stop all closed-loop clients (end of measurement)."""
         for client in self.clients:

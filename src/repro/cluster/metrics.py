@@ -45,6 +45,7 @@ class MetricsCollector:
         # Timeouts.
         self.timeouts = 0
         self.timeout_counter = CounterSeries(bucket_width)
+        self.timeout_latency = LatencyRecorder(window_start, window_end)
         self.bucket_width = bucket_width
         self.first_reject_time: Optional[float] = None
 
@@ -74,10 +75,16 @@ class MetricsCollector:
         """Any REJECT notification reached any client (for downtime gaps)."""
         self.reject_gaps.record(time)
 
-    def record_timeout(self, time: float) -> None:
-        """A client gave up on an operation without reply or rejection."""
+    def record_timeout(self, time: float, latency: float = 0.0) -> None:
+        """A client gave up on an operation without reply or rejection.
+
+        ``latency`` is the elapsed time since the operation's first
+        send, so timeout tails show up in summaries like success and
+        reject latencies do (for a no-retry client it is simply the
+        request timeout)."""
         self.timeouts += 1
         self.timeout_counter.record(time)
+        self.timeout_latency.record(time, latency)
 
     # -- summaries ---------------------------------------------------
 
@@ -96,6 +103,10 @@ class MetricsCollector:
     def reject_latency_summary(self) -> SummaryStats:
         """Latency statistics of rejected operations in the window."""
         return self.reject_latency.summary()
+
+    def timeout_latency_summary(self) -> SummaryStats:
+        """Latency statistics of timed-out operations in the window."""
+        return self.timeout_latency.summary()
 
     def latency_timeline(self) -> list[tuple[float, float]]:
         """Mean reply latency per time bucket (crash-timeline plots)."""
@@ -145,6 +156,18 @@ class ExperimentResult:
     # are deterministic for a given spec; campaign workers pair them
     # with wall time to build per-job performance profiles.
     sim_stats: Optional[dict] = None
+    # Aggregated client-side resilience counters (commands, sends,
+    # retries, hedges, give-ups, load_amplification; plus arrivals and
+    # shed_arrivals for open-loop runs) from Cluster.client_stats().
+    client_stats: Optional[dict] = None
+
+    @property
+    def load_amplification(self) -> float:
+        """Requests put on the wire per distinct command (1.0 = no
+        retries/retransmits/hedges ever fired)."""
+        if not self.client_stats:
+            return 1.0
+        return self.client_stats.get("load_amplification", 1.0)
 
     @property
     def latency_ms(self) -> float:

@@ -17,6 +17,7 @@ from repro.cluster.builder import Cluster, build_cluster
 from repro.cluster.faults import FaultSchedule
 from repro.cluster.metrics import ExperimentResult
 from repro.cluster.profile import ClusterProfile
+from repro.workload.open_loop import ArrivalSpec, OpenLoopDriver
 from repro.workload.schedule import LoadSchedule
 
 
@@ -33,6 +34,10 @@ class RunSpec:
     overrides: dict[str, Any] = field(default_factory=dict)
     faults: Optional[FaultSchedule] = None
     schedule: Optional[LoadSchedule] = None
+    # Open-loop load generation: when set, clients are not started as a
+    # closed loop; an OpenLoopDriver feeds them Poisson arrivals at the
+    # spec's piecewise rates instead (metastability experiments).
+    arrivals: Optional[ArrivalSpec] = None
     bucket_width: float = 0.25
     keep_metrics: bool = False
     # Attach a SafetyChecker and report invariant violations in the
@@ -65,7 +70,18 @@ def run_experiment(spec: RunSpec) -> ExperimentResult:
         schedule=spec.schedule,
         bucket_width=spec.bucket_width,
         stop_time=spec.duration,
+        start_clients=spec.arrivals is None,
     )
+    driver = None
+    if spec.arrivals is not None:
+        driver = OpenLoopDriver(
+            cluster.loop,
+            cluster.clients,
+            spec.arrivals.rate_at,
+            cluster.rng.stream("open_loop.arrivals"),
+            stop_time=spec.duration,
+        )
+        driver.start()
     checker = None
     if spec.safety:
         from repro.cluster.chaos import SafetyChecker
@@ -83,14 +99,18 @@ def run_experiment(spec: RunSpec) -> ExperimentResult:
     if spec.faults is not None:
         spec.faults.install(cluster)
     cluster.run_until(spec.duration)
-    return collect_result(spec, cluster, checker, hub)
+    return collect_result(spec, cluster, checker, hub, driver)
 
 
 def collect_result(
-    spec: RunSpec, cluster: Cluster, checker=None, hub=None
+    spec: RunSpec, cluster: Cluster, checker=None, hub=None, driver=None
 ) -> ExperimentResult:
     """Assemble an :class:`ExperimentResult` from a finished cluster."""
     metrics = cluster.metrics
+    client_stats = cluster.client_stats()
+    if driver is not None:
+        client_stats["arrivals"] = driver.arrivals
+        client_stats["shed_arrivals"] = driver.shed_arrivals
     return ExperimentResult(
         system=spec.system,
         clients=spec.clients,
@@ -116,4 +136,5 @@ def collect_result(
             "peak_heap": cluster.loop.peak_heap,
             "drained_tombstones": cluster.loop.drained_tombstones,
         },
+        client_stats=client_stats,
     )

@@ -28,6 +28,7 @@ from repro.experiments import (
     fig8_threshold,
     fig9_disruptive,
     fig10_replica_crash,
+    figR_retry_storm,
     tab1_overhead,
 )
 
@@ -40,6 +41,7 @@ EXPERIMENTS: dict[str, ModuleType] = {
     "fig8": fig8_threshold,
     "fig9": fig9_disruptive,
     "fig10": fig10_replica_crash,
+    "figR": figR_retry_storm,
 }
 
 

@@ -8,6 +8,7 @@ from repro.obs.analysis import (
     build_breakdowns,
     reject_reason_histogram,
     render_report,
+    resilience_summary,
     top_slowest,
 )
 from repro.obs.export import chrome_trace_events, write_chrome_trace, write_jsonl
@@ -35,6 +36,7 @@ __all__ = [
     "chrome_trace_events",
     "reject_reason_histogram",
     "render_report",
+    "resilience_summary",
     "top_slowest",
     "write_chrome_trace",
     "write_jsonl",

@@ -27,6 +27,9 @@ Rid = tuple[int, int]
 CLIENT_SEND = "client_send"
 CLIENT_RETRANSMIT = "client_retransmit"
 CLIENT_REJECT_RECV = "client_reject_recv"
+CLIENT_RETRY = "client_retry"
+CLIENT_HEDGE = "client_hedge"
+CLIENT_GIVE_UP = "client_give_up"
 CLIENT_OUTCOME = "client_outcome"
 RECV = "recv"
 ACCEPT = "accept"
@@ -313,6 +316,31 @@ class ClientObserver:
         """A REJECT for the pending request arrived from one replica."""
         self.tracer.emit(
             self._now(), self.node, CLIENT_REJECT_RECV, rid, {"from": src_index}
+        )
+
+    def on_retry(self, rid: Rid, outcome: str, attempt: int, delay: float) -> None:
+        """The resilience policy retries after ``outcome`` of ``attempt``."""
+        self.registry.counter(
+            "client_retries", node=self.node, outcome=outcome
+        ).inc()
+        self.tracer.emit(
+            self._now(), self.node, CLIENT_RETRY, rid,
+            {"outcome": outcome, "attempt": attempt, "delay": delay},
+        )
+
+    def on_hedge(self, rid: Rid) -> None:
+        """A hedged duplicate of the pending request went on the wire."""
+        self.registry.counter("client_hedges", node=self.node).inc()
+        self.tracer.emit(self._now(), self.node, CLIENT_HEDGE, rid, None)
+
+    def on_give_up(self, rid: Rid, reason: str) -> None:
+        """A retrying policy stopped retrying (cap hit): ``reason`` names
+        the binding cap (max-attempts, deadline, budget)."""
+        self.registry.counter(
+            "client_give_ups", node=self.node, reason=reason
+        ).inc()
+        self.tracer.emit(
+            self._now(), self.node, CLIENT_GIVE_UP, rid, {"reason": reason}
         )
 
     def on_outcome(self, rid: Rid, outcome: str, latency: float) -> None:

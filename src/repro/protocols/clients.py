@@ -7,6 +7,17 @@ behaviour from the system model is implemented here too: when an
 operation is abandoned (rejection or timeout) an optional *fallback*
 callable is invoked, and after a rejection the client backs off for a
 random 50–100 ms before its next operation, as in Section 7.1.
+
+What happens after a rejection or timeout is decided by a pluggable
+:class:`repro.resilience.RetryPolicy` (``config.retry_policy``): the
+default ``none`` abandons exactly as above, while retrying policies
+re-issue the same command under a fresh request id — each operation is
+then a sequence of *attempts* and the latency of its final outcome is
+measured from the first send, the way an impatient real client
+experiences it.  A :class:`repro.resilience.HedgePolicy`
+(``config.hedge_delay``) can additionally race a duplicate of a
+still-pending request against the original; the duplicate reuses the
+request id, so at-most-once execution suppresses it server-side.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ from repro.net.message import Message
 from repro.net.network import Network, NetworkNode
 from repro.protocols.config import ProtocolConfig
 from repro.protocols.messages import Reject, Reply, Request, Rid
+from repro.resilience import ABANDON, make_hedge_policy, make_retry_policy
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RngRegistry
 from repro.sim.timers import Timer
@@ -65,12 +77,20 @@ class BaseClient(NetworkNode):
         self.fallback = fallback
         self._ops_rng = rng.stream(f"client.{cid}.ops")
         self._timing_rng = rng.stream(f"client.{cid}.timing")
+        self.retry_policy = make_retry_policy(config, cid, rng, self._timing_rng)
+        self.hedge_policy = make_hedge_policy(config)
         self.onr = 0
         self.current_rid: Optional[Rid] = None
         self.current_command: Optional[Command] = None
+        # First send of the current operation (latency reference point)
+        # and of the current attempt; identical unless a retry happened.
         self.send_time = 0.0
+        self.first_send_time = 0.0
+        self.attempt = 0
         self._request_timer = Timer(loop, self._on_request_timeout)
         self._retransmit_timer = Timer(loop, self._on_retransmit)
+        self._hedge_timer = Timer(loop, self._on_hedge_timeout)
+        self._hedges_this_attempt = 0
         # When a driver is attached (open-loop load generation), the
         # client reports completion instead of self-scheduling its next
         # operation; see repro.workload.open_loop.
@@ -83,6 +103,15 @@ class BaseClient(NetworkNode):
         self.successes = 0
         self.rejections = 0
         self.timeouts = 0
+        # Resilience accounting: distinct commands started, every copy
+        # put on the wire (first sends, retransmits, failovers, retries,
+        # hedges), and the policy's decisions.  sends / commands_started
+        # is the client's load-amplification factor.
+        self.commands_started = 0
+        self.sends = 0
+        self.retries = 0
+        self.hedges = 0
+        self.give_ups = 0
         # When set (safety checking), every successfully answered rid is
         # appended so a checker can match replies against executions.
         self.reply_log: Optional[list[Rid]] = None
@@ -100,10 +129,12 @@ class BaseClient(NetworkNode):
         self.stopped = True
         self._request_timer.cancel()
         self._retransmit_timer.cancel()
+        self._hedge_timer.cancel()
 
     # -- the closed loop -----------------------------------------------
 
     def _issue_next(self) -> None:
+        """Begin a fresh operation: draw a command, issue attempt 1."""
         if self.stopped or self.loop.now >= self.stop_time:
             return
         if self.schedule is not None and (
@@ -111,17 +142,32 @@ class BaseClient(NetworkNode):
         ):
             self.loop.call_after(_SCHEDULE_POLL, self._issue_next)
             return
-        self.onr += 1
-        self.current_rid = (self.cid, self.onr)
         self.current_command = self.workload.next_command(self._ops_rng)
+        self.commands_started += 1
+        self.attempt = 0
+        self.first_send_time = self.loop.now
+        self.retry_policy.on_operation_start(self.loop.now)
+        self._issue_attempt()
+
+    def _issue_attempt(self) -> None:
+        """Send one attempt of the current command under a fresh rid."""
+        if self.stopped or self.current_command is None:
+            return
+        self.onr += 1
+        self.attempt += 1
+        self.current_rid = (self.cid, self.onr)
         self.send_time = self.loop.now
         self._reset_operation_state()
         if self.obs is not None:
             self.obs.on_send(self.current_rid)
+        self.sends += 1
         self._send_request(Request(self.current_rid, self.current_command))
         self._request_timer.start(self.config.request_timeout)
         if self.retransmit_enabled:
             self._retransmit_timer.start(self.config.retransmit_interval)
+        if self.hedge_policy is not None:
+            self._hedges_this_attempt = 0
+            self._hedge_timer.start(self.hedge_policy.delay())
 
     def _schedule_next(self, delay: float) -> None:
         if self.driver is not None:
@@ -135,14 +181,34 @@ class BaseClient(NetworkNode):
     def _send_request(self, request: Request) -> None:
         raise NotImplementedError
 
+    def _send_hedge(self, request: Request) -> None:
+        """Put the hedged duplicate on the wire (same rid, another path)."""
+        self._send_request(request)
+
     def _on_retransmit(self) -> None:
         """Resend the pending request over the fair-loss links."""
         if self.stopped or self.current_rid is None:
             return
         if self.obs is not None:
             self.obs.on_send(self.current_rid, retransmit=True)
+        self.sends += 1
         self._send_request(Request(self.current_rid, self.current_command))
         self._retransmit_timer.start(self.config.retransmit_interval)
+
+    def _on_hedge_timeout(self) -> None:
+        """The attempt outlived the hedge delay: race a duplicate."""
+        if self.stopped or self.current_rid is None or self.hedge_policy is None:
+            return
+        if self._hedges_this_attempt >= self.hedge_policy.max_hedges:
+            return
+        self._hedges_this_attempt += 1
+        self.hedges += 1
+        self.sends += 1
+        if self.obs is not None:
+            self.obs.on_hedge(self.current_rid)
+        self._send_hedge(Request(self.current_rid, self.current_command))
+        if self._hedges_this_attempt < self.hedge_policy.max_hedges:
+            self._hedge_timer.start(self.hedge_policy.delay())
 
     # -- responses -------------------------------------------------------
 
@@ -165,44 +231,79 @@ class BaseClient(NetworkNode):
     def _finish_success(self) -> None:
         self._request_timer.cancel()
         self._retransmit_timer.cancel()
+        self._hedge_timer.cancel()
         now = self.loop.now
-        self.metrics.record_success(now, now - self.send_time)
+        latency = now - self.first_send_time
+        self.metrics.record_success(now, latency)
         self.successes += 1
+        if self.hedge_policy is not None:
+            self.hedge_policy.observe(latency)
         if self.reply_log is not None:
             self.reply_log.append(self.current_rid)
         if self.obs is not None:
-            self.obs.on_outcome(self.current_rid, "success", now - self.send_time)
+            self.obs.on_outcome(self.current_rid, "success", latency)
         self.current_rid = None
+        self.current_command = None
         self._schedule_next(self.config.think_time)
 
     def _finish_rejected(self) -> None:
-        """Abandon the operation after rejection: fallback, backoff, next."""
+        """The operation's attempt was rejected: ask the policy."""
         self._request_timer.cancel()
         self._retransmit_timer.cancel()
+        self._hedge_timer.cancel()
         now = self.loop.now
-        self.metrics.record_reject(now, now - self.send_time)
+        decision = self.retry_policy.next_action(
+            "reject", self.attempt, now - self.first_send_time, now
+        )
+        if decision.kind != ABANDON:
+            self._begin_retry("rejected", decision)
+            return
+        self.metrics.record_reject(now, now - self.first_send_time)
         self.rejections += 1
         if self.obs is not None:
-            self.obs.on_outcome(self.current_rid, "rejected", now - self.send_time)
-        self.current_rid = None
-        if self.fallback is not None:
-            self.fallback(self.current_command)
-        backoff = self._timing_rng.uniform(
-            self.config.reject_backoff_min, self.config.reject_backoff_max
-        )
-        self._schedule_next(backoff)
+            self.obs.on_outcome(
+                self.current_rid, "rejected", now - self.first_send_time
+            )
+        self._abandon_operation(decision)
 
     def _on_request_timeout(self) -> None:
         self._retransmit_timer.cancel()
+        self._hedge_timer.cancel()
         now = self.loop.now
-        self.metrics.record_timeout(now)
+        decision = self.retry_policy.next_action(
+            "timeout", self.attempt, now - self.first_send_time, now
+        )
+        if decision.kind != ABANDON:
+            self._begin_retry("timeout", decision)
+            return
+        self.metrics.record_timeout(now, now - self.first_send_time)
         self.timeouts += 1
         if self.obs is not None and self.current_rid is not None:
-            self.obs.on_outcome(self.current_rid, "timeout", now - self.send_time)
+            self.obs.on_outcome(
+                self.current_rid, "timeout", now - self.first_send_time
+            )
+        self._abandon_operation(decision)
+
+    def _begin_retry(self, outcome: str, decision) -> None:
+        """Re-issue the same command under a new rid after the backoff."""
+        self.retries += 1
+        if self.obs is not None:
+            self.obs.on_retry(self.current_rid, outcome, self.attempt, decision.delay)
         self.current_rid = None
+        self.loop.call_after(decision.delay, self._issue_attempt)
+
+    def _abandon_operation(self, decision) -> None:
+        """Terminal abandonment: fallback (while the per-operation state
+        is still intact), then clear it and schedule the next command."""
+        if decision.reason != "no-retry":
+            self.give_ups += 1
+            if self.obs is not None and self.current_rid is not None:
+                self.obs.on_give_up(self.current_rid, decision.reason)
         if self.fallback is not None:
             self.fallback(self.current_command)
-        self._schedule_next(0.0)
+        self.current_rid = None
+        self.current_command = None
+        self._schedule_next(decision.delay)
 
 
 class SingleTargetClient(BaseClient):
@@ -227,12 +328,19 @@ class SingleTargetClient(BaseClient):
         )
         self._failover_timer.start(self.config.client_failover_timeout)
 
+    def _send_hedge(self, request: Request) -> None:
+        # Hedge to a replica other than the presumed leader (it relays
+        # to the leader) without disturbing the failover timer.
+        target = (self.presumed_leader + self._hedges_this_attempt) % self.config.n
+        self.network.send(self.address, replica_address(target), request)
+
     def _on_failover_timeout(self) -> None:
         if self.current_rid is None or self.stopped:
             return
         self.presumed_leader = (self.presumed_leader + 1) % self.config.n
         if self.obs is not None:
             self.obs.on_send(self.current_rid, retransmit=True)
+        self.sends += 1
         self.network.send(
             self.address,
             replica_address(self.presumed_leader),

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.resilience import JITTER_MODES, RETRY_OUTCOME_MODES, RETRY_POLICY_NAMES
+
 
 @dataclass
 class ProtocolConfig:
@@ -92,6 +94,35 @@ class ProtocolConfig:
     # Fair-loss links require retransmission (Section 2.1): clients
     # resend an unanswered request at this interval.
     retransmit_interval: float = 0.1
+    # -- client resilience (repro.resilience) -------------------------
+    # What the client does after a rejection/timeout: "none" (abandon,
+    # the paper's Section 7.1 behaviour and the byte-identical default),
+    # "immediate", "fixed" or "exponential" (re-issue the same command
+    # under a new request id).
+    retry_policy: str = "none"
+    # Which outcomes a retrying policy reacts to: "any", "timeout" or
+    # "reject".  "timeout" models the common naive client that retries
+    # silence but honours an explicit rejection's backoff guidance.
+    retry_on: str = "any"
+    # Caps shared by every retrying policy: total attempts per command,
+    # an optional per-request deadline (0 disables) and an optional
+    # token-bucket retry budget (rate 0 disables; `cap` bounds bursts).
+    retry_max_attempts: int = 4
+    request_deadline: float = 0.0
+    retry_budget_rate: float = 0.0
+    retry_budget_cap: float = 10.0
+    # Backoff shape for "fixed"/"exponential" and the jitter flavour
+    # ("none", "full", "decorrelated") applied to the exponential.
+    retry_base_delay: float = 0.01
+    retry_max_delay: float = 0.2
+    retry_jitter: str = "full"
+    # Hedged requests: after `hedge_delay` seconds without an answer
+    # (or the observed `hedge_percentile` reply latency once enough
+    # samples exist) send up to `hedge_max` duplicates of the pending
+    # request to other replicas; 0.0 disables hedging.
+    hedge_delay: float = 0.0
+    hedge_percentile: float = 0.0
+    hedge_max: int = 1
 
     def __post_init__(self) -> None:
         if self.n != 2 * self.f + 1:
@@ -100,6 +131,31 @@ class ProtocolConfig:
             raise ValueError(f"batch_max must be at least 1, got {self.batch_max}")
         if self.window_size < 1:
             raise ValueError(f"window_size must be positive, got {self.window_size}")
+        if self.retry_policy not in RETRY_POLICY_NAMES:
+            raise ValueError(
+                f"unknown retry_policy {self.retry_policy!r}; "
+                f"choose from {RETRY_POLICY_NAMES}"
+            )
+        if self.retry_on not in RETRY_OUTCOME_MODES:
+            raise ValueError(
+                f"unknown retry_on {self.retry_on!r}; "
+                f"choose from {RETRY_OUTCOME_MODES}"
+            )
+        if self.retry_jitter not in JITTER_MODES:
+            raise ValueError(
+                f"unknown retry_jitter {self.retry_jitter!r}; "
+                f"choose from {JITTER_MODES}"
+            )
+        if self.retry_max_attempts < 1:
+            raise ValueError(
+                f"retry_max_attempts must be at least 1, got {self.retry_max_attempts}"
+            )
+        if self.hedge_max < 1:
+            raise ValueError(f"hedge_max must be at least 1, got {self.hedge_max}")
+        if not 0.0 <= self.hedge_percentile < 1.0:
+            raise ValueError(
+                f"hedge_percentile must be in [0, 1), got {self.hedge_percentile}"
+            )
 
     @property
     def quorum(self) -> int:

@@ -1,0 +1,56 @@
+"""``repro.resilience`` — client-side resilience policies.
+
+The paper's thesis is that *proactive* rejection keeps tail latency
+bounded where clients' *reactive* disciplines (timeouts, retries,
+hedges) make overload worse.  This package supplies those reactive
+disciplines as pluggable, deterministic policies:
+
+* :class:`RetryPolicy` and its subclasses decide, after a rejection or
+  timeout, whether the client re-issues the same command (new request
+  id, bounded attempts, backoff with jitter, token-bucket retry
+  budgets, per-request deadlines) or abandons it.
+* :class:`HedgePolicy` decides when a still-pending request gets a
+  second copy sent to another replica (first reply wins; duplicates are
+  suppressed by the protocols' at-most-once delivery).
+
+Policies are pure decision logic: they never touch the event loop or
+the network, and every random draw comes from a named
+:class:`~repro.sim.rng.RngRegistry` stream, so enabling a policy keeps
+runs byte-deterministic and the default ``no-retry`` policy is a
+provable no-op.  See ``docs/RESILIENCE.md``.
+"""
+
+from repro.resilience.hedge import HedgePolicy, make_hedge_policy
+from repro.resilience.policy import (
+    ABANDON,
+    Decision,
+    ExponentialBackoffPolicy,
+    FixedDelayPolicy,
+    ImmediateRetryPolicy,
+    JITTER_MODES,
+    NoRetryPolicy,
+    RETRY,
+    RETRY_OUTCOME_MODES,
+    RETRY_POLICY_NAMES,
+    RetryPolicy,
+    TokenBucket,
+    make_retry_policy,
+)
+
+__all__ = [
+    "ABANDON",
+    "Decision",
+    "ExponentialBackoffPolicy",
+    "FixedDelayPolicy",
+    "HedgePolicy",
+    "ImmediateRetryPolicy",
+    "JITTER_MODES",
+    "NoRetryPolicy",
+    "RETRY",
+    "RETRY_OUTCOME_MODES",
+    "RETRY_POLICY_NAMES",
+    "RetryPolicy",
+    "TokenBucket",
+    "make_hedge_policy",
+    "make_retry_policy",
+]

@@ -1,0 +1,67 @@
+"""Hedged requests: a second copy to another replica, first reply wins.
+
+Hedging bounds tail latency by racing a duplicate of a still-pending
+request against the original ("The Tail at Scale").  The duplicate
+keeps the *same* request id, so the protocols' at-most-once delivery
+(per-client executed-operation tracking plus reply caching) suppresses
+the second execution — the hedge can only ever add wire and admission
+work, never double-apply a command.
+
+The policy is pure bookkeeping: the client owns the hedge timer and
+asks :meth:`HedgePolicy.delay` how long to arm it.  With a configured
+``hedge_percentile`` the delay adapts to the observed reply-latency
+distribution once enough samples exist; before that (and with the
+percentile disabled) the fixed ``hedge_delay`` applies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+#: Observed-latency samples needed before the percentile estimate is used.
+MIN_SAMPLES = 8
+
+#: How many recent reply latencies the estimator keeps.
+SAMPLE_WINDOW = 64
+
+
+class HedgePolicy:
+    """Decides when a pending request deserves a hedged duplicate."""
+
+    def __init__(self, delay: float, percentile: float = 0.0, max_hedges: int = 1):
+        if delay <= 0.0:
+            raise ValueError(f"hedge delay must be positive, got {delay}")
+        if not 0.0 <= percentile < 1.0:
+            raise ValueError(
+                f"hedge percentile must be in [0, 1), got {percentile}"
+            )
+        if max_hedges < 1:
+            raise ValueError(f"max hedges must be at least 1, got {max_hedges}")
+        self.base_delay = delay
+        self.percentile = percentile
+        self.max_hedges = max_hedges
+        self._samples: deque = deque(maxlen=SAMPLE_WINDOW)
+
+    def observe(self, latency: float) -> None:
+        """Feed one successful reply latency into the estimator."""
+        self._samples.append(latency)
+
+    def delay(self) -> float:
+        """Seconds to wait before hedging the current attempt."""
+        if self.percentile > 0.0 and len(self._samples) >= MIN_SAMPLES:
+            ordered = sorted(self._samples)
+            index = min(len(ordered) - 1, int(self.percentile * len(ordered)))
+            return ordered[index]
+        return self.base_delay
+
+
+def make_hedge_policy(config) -> Optional[HedgePolicy]:
+    """Build the hedge policy ``config`` describes; ``None`` disables
+    hedging entirely (``hedge_delay`` left at its 0.0 default), keeping
+    the client's per-request cost at a single ``is None`` check."""
+    if config.hedge_delay <= 0.0:
+        return None
+    return HedgePolicy(
+        config.hedge_delay, config.hedge_percentile, config.hedge_max
+    )

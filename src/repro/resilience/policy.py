@@ -1,0 +1,249 @@
+"""Retry policies: what a client does after a rejection or timeout.
+
+A policy is consulted once per *attempt outcome* and answers with a
+:class:`Decision`: either ``retry`` (re-issue the same command under a
+fresh request id after ``delay`` seconds) or ``abandon`` (record the
+outcome, run the fallback, move on after ``delay`` seconds).
+
+Two different random streams feed a policy, and the split is what makes
+the default path a provable no-op:
+
+* the client's existing ``client.{cid}.timing`` stream supplies the
+  post-rejection abandon backoff (Section 7.1's 50-100 ms), exactly as
+  the pre-policy client drew it — same stream, same single draw per
+  terminal rejection;
+* retry jitter draws come from a *new* ``client.{cid}.resilience``
+  stream that only retrying policies ever create, so enabling retries
+  cannot perturb any pre-existing stream.
+
+Policies never read the event loop: the client passes the current
+simulated time in, which keeps this module inside the determinism-lint
+(DET) scope with nothing to suppress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Decision kinds.
+RETRY = "retry"
+ABANDON = "abandon"
+
+#: ``ProtocolConfig.retry_policy`` values (see :func:`make_retry_policy`).
+RETRY_POLICY_NAMES = ("none", "immediate", "fixed", "exponential")
+
+#: ``ProtocolConfig.retry_jitter`` values for the exponential policy.
+JITTER_MODES = ("none", "full", "decorrelated")
+
+#: ``ProtocolConfig.retry_on`` values: which outcomes a retrying policy
+#: reacts to.  ``timeout`` models the common naive client that retries
+#: silence but respects an explicit rejection (it carries backoff
+#: guidance); ``reject`` is the inverse; ``any`` retries both.
+RETRY_OUTCOME_MODES = ("any", "timeout", "reject")
+
+#: Abandon reasons a retrying policy can give up with (the plain
+#: ``no-retry`` abandonment is not a give-up: there was nothing to stop).
+GIVE_UP_REASONS = ("max-attempts", "deadline", "budget")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One policy verdict for one attempt outcome.
+
+    ``delay`` is the backoff before the retry (kind ``retry``) or before
+    the client's next fresh operation (kind ``abandon``); ``reason``
+    names the policy for retries and the giving-up cause for abandons.
+    """
+
+    kind: str
+    delay: float = 0.0
+    reason: str = ""
+
+
+class TokenBucket:
+    """A lazily refilled token bucket capping the client's retry rate.
+
+    ``rate`` tokens accrue per simulated second up to ``cap``; each
+    retry spends one.  The refill is computed from the timestamps the
+    client passes in, so the bucket never reads a clock itself.
+    """
+
+    def __init__(self, rate: float, cap: float):
+        if rate <= 0.0 or cap < 1.0:
+            raise ValueError(
+                f"token bucket needs rate > 0 and cap >= 1, got {rate}/{cap}"
+            )
+        self.rate = rate
+        self.cap = cap
+        self.tokens = cap
+        self._last_refill = 0.0
+
+    def try_spend(self, now: float) -> bool:
+        """Spend one token if available; refills up to ``now`` first."""
+        if now > self._last_refill:
+            self.tokens = min(
+                self.cap, self.tokens + (now - self._last_refill) * self.rate
+            )
+            self._last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class RetryPolicy:
+    """Base policy: never retry (the pre-policy client behaviour).
+
+    The abandon backoff is computed here for every policy so that all of
+    them share the client's historical discipline: a uniform
+    ``[reject_backoff_min, reject_backoff_max]`` draw from the timing
+    stream after a rejection, the configured think time after a timeout.
+    """
+
+    name = "none"
+
+    def __init__(self, config, timing_rng):
+        self.config = config
+        self._timing_rng = timing_rng
+
+    def on_operation_start(self, now: float) -> None:
+        """Hook: a fresh command is about to be issued (attempt 1)."""
+
+    def next_action(
+        self, outcome: str, attempt: int, elapsed: float, now: float
+    ) -> Decision:
+        """Decide what to do after ``outcome`` (``reject``/``timeout``)
+        of attempt ``attempt``, ``elapsed`` seconds into the operation."""
+        return self._abandon(outcome, "no-retry")
+
+    def _abandon(self, outcome: str, reason: str) -> Decision:
+        if outcome == "reject":
+            delay = self._timing_rng.uniform(
+                self.config.reject_backoff_min, self.config.reject_backoff_max
+            )
+        else:
+            delay = self.config.think_time
+        return Decision(ABANDON, delay, reason)
+
+
+class NoRetryPolicy(RetryPolicy):
+    """Explicit alias of the base policy (registry completeness)."""
+
+
+class BoundedRetryPolicy(RetryPolicy):
+    """Shared cap logic for every retrying policy.
+
+    Caps are checked in a fixed order — attempts, deadline, budget — so
+    the give-up reason (and hence the observer counter it lands in) is
+    deterministic when several caps bind at once.
+    """
+
+    def __init__(self, config, timing_rng, retry_rng):
+        super().__init__(config, timing_rng)
+        self.rng = retry_rng
+        self.retry_on = config.retry_on
+        self.max_attempts = config.retry_max_attempts
+        self.deadline = config.request_deadline
+        self.budget = (
+            TokenBucket(config.retry_budget_rate, config.retry_budget_cap)
+            if config.retry_budget_rate > 0.0
+            else None
+        )
+
+    def next_action(
+        self, outcome: str, attempt: int, elapsed: float, now: float
+    ) -> Decision:
+        if self.retry_on != "any" and outcome != self.retry_on:
+            # An outcome this policy does not cover is a plain
+            # abandonment (not a give-up) and spends no budget token.
+            return self._abandon(outcome, "no-retry")
+        if attempt >= self.max_attempts:
+            return self._abandon(outcome, "max-attempts")
+        if self.deadline > 0.0 and elapsed >= self.deadline:
+            return self._abandon(outcome, "deadline")
+        if self.budget is not None and not self.budget.try_spend(now):
+            return self._abandon(outcome, "budget")
+        return Decision(RETRY, self._retry_delay(attempt), self.name)
+
+    def _retry_delay(self, attempt: int) -> float:
+        raise NotImplementedError
+
+
+class ImmediateRetryPolicy(BoundedRetryPolicy):
+    """Retry with no delay at all: the worst-case storm client."""
+
+    name = "immediate"
+
+    def _retry_delay(self, attempt: int) -> float:
+        return 0.0
+
+
+class FixedDelayPolicy(BoundedRetryPolicy):
+    """Retry after a constant ``retry_base_delay``."""
+
+    name = "fixed"
+
+    def _retry_delay(self, attempt: int) -> float:
+        return self.config.retry_base_delay
+
+
+class ExponentialBackoffPolicy(BoundedRetryPolicy):
+    """Exponential backoff, capped at ``retry_max_delay``, with jitter.
+
+    ``retry_jitter`` selects the flavour:
+
+    * ``none`` — the raw capped exponential ``base * 2^(attempt-1)``;
+    * ``full`` — uniform in ``[0, raw]`` (AWS "full jitter");
+    * ``decorrelated`` — uniform in ``[base, 3 * previous]``, capped
+      (AWS "decorrelated jitter"); the previous delay resets to the
+      base at every fresh operation.
+    """
+
+    name = "exponential"
+
+    def __init__(self, config, timing_rng, retry_rng):
+        super().__init__(config, timing_rng, retry_rng)
+        self.jitter = config.retry_jitter
+        self._previous = config.retry_base_delay
+
+    def on_operation_start(self, now: float) -> None:
+        self._previous = self.config.retry_base_delay
+
+    def _retry_delay(self, attempt: int) -> float:
+        base = self.config.retry_base_delay
+        cap = self.config.retry_max_delay
+        if self.jitter == "decorrelated":
+            delay = min(cap, self.rng.uniform(base, 3.0 * self._previous))
+            self._previous = delay
+            return delay
+        raw = min(cap, base * (2.0 ** (attempt - 1)))
+        if self.jitter == "full":
+            return self.rng.uniform(0.0, raw)
+        return raw
+
+
+_POLICY_CLASSES = {
+    "none": NoRetryPolicy,
+    "immediate": ImmediateRetryPolicy,
+    "fixed": FixedDelayPolicy,
+    "exponential": ExponentialBackoffPolicy,
+}
+
+
+def make_retry_policy(config, cid: int, rng, timing_rng) -> RetryPolicy:
+    """Build the policy ``config.retry_policy`` names for client ``cid``.
+
+    ``timing_rng`` is the client's existing timing stream (abandon
+    backoff); retrying policies additionally get their own
+    ``client.{cid}.resilience`` stream from the registry ``rng``, which
+    is only created when a retrying policy is actually configured.
+    """
+    name = config.retry_policy
+    if name not in _POLICY_CLASSES:
+        raise ValueError(
+            f"unknown retry policy {name!r}; choose from {RETRY_POLICY_NAMES}"
+        )
+    if name == "none":
+        return NoRetryPolicy(config, timing_rng)
+    retry_rng = rng.stream(f"client.{cid}.resilience")
+    return _POLICY_CLASSES[name](config, timing_rng, retry_rng)

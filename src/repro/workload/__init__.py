@@ -7,7 +7,7 @@ for burst experiments.
 """
 
 from repro.workload.keys import KeyChooser, LatestKeys, UniformKeys, ZipfianKeys
-from repro.workload.open_loop import OpenLoopDriver, spike_rate
+from repro.workload.open_loop import ArrivalSpec, OpenLoopDriver, spike_rate
 from repro.workload.schedule import BurstSchedule, ConstantSchedule, LoadSchedule, StepSchedule
 from repro.workload.ycsb import (
     WORKLOAD_A,
@@ -18,6 +18,7 @@ from repro.workload.ycsb import (
 )
 
 __all__ = [
+    "ArrivalSpec",
     "BurstSchedule",
     "ConstantSchedule",
     "KeyChooser",

@@ -14,11 +14,50 @@ end in trivial collapse).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Union
 
 from repro.sim.loop import EventLoop
 
 RateLike = Union[float, Callable[[float], float]]
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A serialisable piecewise-constant Poisson arrival plan.
+
+    ``steps`` is ``[(start_time, rate), ...]`` sorted by start time;
+    before the first step the rate is zero.  Being a frozen dataclass of
+    primitives (like the fault types), an :class:`ArrivalSpec` rides a
+    :class:`~repro.cluster.runner.RunSpec` through the campaign
+    planner's JSON payloads, which is what makes open-loop experiments
+    (the retry-storm family) cacheable and distributable.
+    """
+
+    steps: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("arrival spec needs at least one step")
+        times = [time for time, _ in self.steps]
+        if times != sorted(times):
+            raise ValueError("arrival steps must be sorted by time")
+        if any(rate < 0.0 for _, rate in self.steps):
+            raise ValueError("arrival rates must be non-negative")
+
+    def rate_at(self, time: float) -> float:
+        """The instantaneous arrival rate at simulated ``time``."""
+        rate = 0.0
+        for start, step_rate in self.steps:
+            if time >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+    def max_rate(self) -> float:
+        """The plan's peak rate (pool-sizing aid)."""
+        return max(rate for _, rate in self.steps)
 
 
 class OpenLoopDriver:

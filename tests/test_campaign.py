@@ -42,7 +42,8 @@ from repro.cluster.profile import ClusterProfile
 from repro.cluster.runner import RunSpec, run_experiment
 from repro.experiments import EXPERIMENTS, common
 from repro.experiments.tab1_overhead import Tab1Cell
-from repro.workload.schedule import ConstantSchedule
+from repro.workload.open_loop import ArrivalSpec
+from repro.workload.schedule import BurstSchedule, ConstantSchedule, StepSchedule
 
 
 def tiny_spec(seed: int = 0, **overrides) -> RunSpec:
@@ -118,12 +119,39 @@ class TestPlan:
         assert sim_job("x", tiny_spec(seed=0)).key != sim_job("x", tiny_spec(seed=1)).key
 
     def test_unplannable_specs_raise(self):
+        class CustomSchedule(ConstantSchedule):
+            """Subclasses are unplannable: a worker cannot rebuild them."""
+
         with pytest.raises(UnplannableSpec):
             spec_to_payload(tiny_spec(observe=True))
         with pytest.raises(UnplannableSpec):
-            spec_to_payload(tiny_spec(schedule=ConstantSchedule(clients=2)))
+            spec_to_payload(tiny_spec(schedule=CustomSchedule(clients=2)))
         with pytest.raises(UnplannableSpec):
             spec_to_payload(tiny_spec(overrides={"bad": object()}))
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            ConstantSchedule(clients=2),
+            StepSchedule(steps=((0.0, 1), (0.2, 3))),
+            BurstSchedule(base=1, burst=4, period=0.2, burst_duration=0.05),
+        ],
+        ids=["constant", "step", "burst"],
+    )
+    def test_builtin_schedules_roundtrip(self, schedule):
+        payload = spec_to_payload(tiny_spec(schedule=schedule))
+        json.dumps(payload)
+        rebuilt = payload_to_spec(payload)
+        assert rebuilt.schedule == schedule
+        assert spec_to_payload(rebuilt) == payload
+
+    def test_arrivals_roundtrip(self):
+        arrivals = ArrivalSpec(steps=((0.0, 100.0), (0.2, 400.0)))
+        payload = spec_to_payload(tiny_spec(arrivals=arrivals))
+        json.dumps(payload)
+        rebuilt = payload_to_spec(payload)
+        assert rebuilt.arrivals == arrivals
+        assert spec_to_payload(rebuilt) == payload
 
     def test_cross_experiment_jobs_dedup_by_key(self):
         jobs = plan_campaign(["fig7", "fig9"], quick=True, runs=1, duration=0.3)
