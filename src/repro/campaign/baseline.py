@@ -108,6 +108,10 @@ def _figR_headlines(data: Any) -> dict[str, float]:
         # when the hysteresis story itself changes.
         metrics[f"{key}.recovered"] = 1.0 if run_.recovered else 0.0
         metrics[f"{key}.amplification"] = run_.amplification
+        if run_.drift_findings is not None:
+            # Probed arm: the drift detectors must stay silent (the
+            # active-slot leak regression gate; 0/1-style like recovered).
+            metrics[f"{key}.drift_findings"] = float(run_.drift_findings)
     chaos_violations = sum(
         len(run_.safety_violations) for run_ in data.runs if run_.crashed
     )

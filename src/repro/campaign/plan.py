@@ -56,7 +56,9 @@ from repro.workload.ycsb import YcsbProfile
 # 3 — ExperimentResult gained client_stats (resilience counters),
 # MetricsCollector gained timeout latencies, and RunSpec payloads
 # gained schedule/arrivals entries (open-loop retry-storm runs).
-CACHE_SCHEMA = 3
+# 4 — RunSpec payloads gained probes/probe_interval (replica-state
+# probing + drift detection), ExperimentResult gained findings.
+CACHE_SCHEMA = 4
 
 KIND_SIM = "sim"
 KIND_CELL = "tab1-cell"
@@ -224,6 +226,8 @@ def spec_to_payload(spec: RunSpec) -> dict[str, Any]:
         "arrivals": (
             None if spec.arrivals is None else arrivals_to_payload(spec.arrivals)
         ),
+        "probes": spec.probes,
+        "probe_interval": spec.obs_sample_interval,
     }
 
 
@@ -255,6 +259,8 @@ def payload_to_spec(payload: dict[str, Any]) -> RunSpec:
             if payload["arrivals"] is None
             else payload_to_arrivals(payload["arrivals"])
         ),
+        probes=payload["probes"],
+        obs_sample_interval=payload["probe_interval"],
     )
 
 

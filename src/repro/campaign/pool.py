@@ -38,7 +38,13 @@ def execute_payload(kind: str, payload: dict[str, Any]) -> Any:
     if kind == KIND_SIM:
         from repro.cluster.runner import run_experiment
 
-        return run_experiment(payload_to_spec(payload))
+        result = run_experiment(payload_to_spec(payload))
+        # Probed runs carry a hub only as scaffolding for the detectors,
+        # which already ran (result.findings); drop it so pickled cache
+        # entries stay small and free of live simulation objects.
+        if result.obs is not None:
+            result.obs = None
+        return result
     if kind == KIND_CELL:
         from repro.experiments.tab1_overhead import measure_cell
 
@@ -68,7 +74,7 @@ def job_profile(
     events_per_sec = None
     if dispatched and wall_seconds > 0:
         events_per_sec = dispatched / wall_seconds
-    return {
+    profile = {
         "key": job.key,
         "label": job.label,
         "kind": job.kind,
@@ -79,6 +85,12 @@ def job_profile(
         "drained_tombstones": sim.get("drained_tombstones"),
         "cached": cached,
     }
+    findings = getattr(result, "findings", None)
+    if findings is not None:
+        # Probed run: drift-detector findings ride the sidecar so
+        # `campaign --report` can surface them for cache hits too.
+        profile["findings"] = findings
+    return profile
 
 
 @dataclass

@@ -68,7 +68,32 @@ def render_summary(result: CampaignResult) -> str:
             "  baselines   : wrote "
             + ", ".join(path.name for path in result.baseline_paths)
         )
+    finding_lines = render_findings(result)
+    if finding_lines:
+        lines.append(finding_lines)
     return "\n".join(lines)
+
+
+def render_findings(result: CampaignResult) -> str:
+    """Drift-detector findings of probed jobs, one line each (stderr).
+
+    Empty string when no probed job produced findings — the healthy
+    case prints nothing.
+    """
+    lines: list[str] = []
+    total = 0
+    for profile in result.stats.job_profiles:
+        for finding in profile.get("findings") or ():
+            total += 1
+            lines.append(
+                f"    {profile['label']}: [{finding['rule']}] "
+                f"{finding['node']} "
+                f"{finding['start']:.2f}-{finding['end']:.2f}s — "
+                f"{finding['summary']}"
+            )
+    if not lines:
+        return ""
+    return f"  drift       : {total} finding(s) from probed jobs\n" + "\n".join(lines)
 
 
 def render_slowest(result: CampaignResult, k: int) -> str:

@@ -42,8 +42,9 @@ def main(argv: list[str] | None = None) -> int:
             "figR), "
             "'all', 'campaign' for a parallel cached campaign, 'chaos' for a "
             "randomized fault-injection run, 'trace' for a traced run with "
-            "request-lifecycle analysis, 'perf' for the simulator "
-            "microbenchmark scenarios, or 'lint' for the detlint "
+            "request-lifecycle analysis, 'obs' for a probed run with "
+            "replica-state series and drift detection, 'perf' for the "
+            "simulator microbenchmark scenarios, or 'lint' for the detlint "
             "determinism/purity static-analysis pass"
         ),
     )
@@ -175,6 +176,28 @@ def main(argv: list[str] | None = None) -> int:
         help="with --gc: additionally remove entries older than DAYS, "
         "referenced or not",
     )
+    obs = parser.add_argument_group("obs options")
+    obs.add_argument(
+        "--mode",
+        choices=("report", "series", "detect"),
+        default="report",
+        help=(
+            "obs only: 'report' prints a per-node series summary plus the "
+            "drift findings, 'series' exports the probe series (JSONL + "
+            "Perfetto counters) into --out, 'detect' runs the drift "
+            "detectors and exits 1 on any finding"
+        ),
+    )
+    obs.add_argument(
+        "--scenario",
+        choices=("steady", "storm"),
+        default="steady",
+        help=(
+            "obs only: 'steady' probes a closed-loop run of "
+            "--protocol/--clients/--duration, 'storm' probes the figR "
+            "reject-retry storm arm (idem/naive-any; scenario-fixed)"
+        ),
+    )
     perf = parser.add_argument_group("perf options")
     perf.add_argument(
         "--scenarios",
@@ -198,6 +221,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_chaos_command(args)
     if args.experiment == "trace":
         return run_trace_command(args)
+    if args.experiment == "obs":
+        return run_obs_command(args)
     if args.experiment == "campaign":
         return run_campaign_command(args)
     if args.experiment == "perf":
@@ -433,6 +458,104 @@ def run_trace_command(args) -> int:
     print(f"[{events} Chrome trace events -> {chrome_path}]")
     print()
     print(render_report(hub.tracer, hub.registry, k=args.top))
+    return 0
+
+
+def run_obs_command(args) -> int:
+    """Run one probed scenario: replica-state series + drift detection.
+
+    ``--mode report`` prints a per-(node, series) summary table and the
+    drift-detector findings; ``--mode series`` exports every retained
+    probe sample as JSONL plus a Perfetto counter-track document into
+    ``--out``; ``--mode detect`` prints only the findings and exits 1
+    when there are any (the CI smoke gate).  All output is
+    deterministic for a given option set.
+    """
+    from repro.cluster.runner import RunSpec, run_experiment
+    from repro.obs import write_series_chrome_trace, write_series_jsonl
+
+    try:
+        if args.scenario == "storm":
+            from repro.experiments.figR_retry_storm import (
+                ANY_RETRY,
+                BASE_OVERRIDES,
+                IDEM_OVERRIDES,
+                storm_spec,
+            )
+
+            overrides = {**BASE_OVERRIDES, **IDEM_OVERRIDES, **ANY_RETRY}
+            spec = storm_spec(
+                "idem", "naive-any", overrides, args.seed, probes=True
+            )
+            base = f"storm-idem-naive-any-seed{args.seed}"
+        else:
+            duration = args.duration if args.duration is not None else 1.0
+            spec = RunSpec(
+                system=args.protocol,
+                clients=args.clients,
+                duration=duration,
+                warmup=min(0.3, duration * 0.3),
+                seed=args.seed,
+                probes=True,
+            )
+            base = f"{args.protocol}-seed{args.seed}"
+        result = run_experiment(spec)
+    except ValueError as error:  # unknown system, bad duration, ...
+        print(f"obs: {error}", file=sys.stderr)
+        return 2
+
+    recorder = result.obs.recorder
+    findings = result.findings or []
+
+    def render_findings_lines() -> str:
+        if not findings:
+            return "drift findings: none"
+        lines = [f"drift findings: {len(findings)}"]
+        for finding in findings:
+            lines.append(
+                f"  [{finding['rule']}] {finding['node']} "
+                f"{finding['start']:.2f}-{finding['end']:.2f}s — "
+                f"{finding['summary']}"
+            )
+        return "\n".join(lines)
+
+    if args.mode == "series":
+        os.makedirs(args.out, exist_ok=True)
+        jsonl_path = os.path.join(args.out, f"{base}.series.jsonl")
+        perfetto_path = os.path.join(args.out, f"{base}.counters.json")
+        with open(jsonl_path, "w") as stream:
+            lines = write_series_jsonl(recorder, stream)
+        with open(perfetto_path, "w") as stream:
+            events = write_series_chrome_trace(recorder, stream)
+        print(f"[{lines} samples -> {jsonl_path}]")
+        print(f"[{events} counter events -> {perfetto_path}]")
+        print(render_findings_lines())
+        return 0
+
+    if args.mode == "detect":
+        print(render_findings_lines())
+        return 1 if findings else 0
+
+    # report: one line per (node, series) with window stats + quantiles.
+    print(
+        f"{len(recorder)} series, {recorder.samples_recorded} samples, "
+        f"{len(recorder.marks)} fault mark(s)"
+    )
+    header = (
+        f"{'node':10s} {'series':24s} {'n':>6s} {'min':>10s} "
+        f"{'mean':>10s} {'max':>10s} {'last':>10s} {'p50':>10s} {'p99':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for (node, name), series in recorder.items():
+        stats = series.window(0.0, spec.duration)
+        print(
+            f"{node:10s} {name:24s} {stats.count:>6d} {stats.min:>10.2f} "
+            f"{stats.mean:>10.2f} {stats.max:>10.2f} {stats.last:>10.2f} "
+            f"{series.quantile(0.5):>10.2f} {series.quantile(0.99):>10.2f}"
+        )
+    print()
+    print(render_findings_lines())
     return 0
 
 

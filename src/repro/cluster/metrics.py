@@ -151,6 +151,11 @@ class ExperimentResult:
     # Kept out of replica_stats so that every field above is identical
     # with tracing on or off (the observer-only invariant).
     obs: Optional[object] = None
+    # Drift-detector findings (repro.obs.detect) as JSON-safe dicts when
+    # the run was probed (RunSpec.probes); None otherwise.  Like obs,
+    # not part of the measured fields — tools/overhead_guard.py checks
+    # those stay byte-identical whether or not probes ran.
+    findings: Optional[list] = None
     # Simulator-side execution profile of the run: dispatched_events,
     # peak_heap and drained_tombstones from the event loop.  All three
     # are deterministic for a given spec; campaign workers pair them

@@ -48,6 +48,12 @@ class RunSpec:
     # seeded run returns byte-identical results with this on or off.
     observe: bool = False
     obs_sample_interval: float = 0.01
+    # Record replica-state probe series (repro.obs.probes) into a flight
+    # recorder and run the drift detectors over them; findings land in
+    # ExperimentResult.findings.  Implies a hub.  Observer-pure like
+    # `observe` — probing rides the same sampling tick, so a probed run
+    # is byte-identical to an observed one (and to a bare one).
+    probes: bool = False
 
     def __post_init__(self) -> None:
         if self.warmup >= self.duration:
@@ -89,10 +95,16 @@ def run_experiment(spec: RunSpec) -> ExperimentResult:
         checker = SafetyChecker()
         checker.attach(cluster)
     hub = None
-    if spec.observe:
+    if spec.observe or spec.probes:
         from repro.obs import ObservabilityHub
 
-        hub = ObservabilityHub(sample_interval=spec.obs_sample_interval)
+        # Probe-only runs keep a minimal tracer (events drop at the cap)
+        # so the recorder's memory footprint dominates, not the trace.
+        hub = ObservabilityHub(
+            sample_interval=spec.obs_sample_interval,
+            max_events=2_000_000 if spec.observe else 1,
+            probes=spec.probes,
+        )
         hub.attach(cluster, horizon=spec.duration)
         if spec.faults is not None:
             hub.annotate_faults(spec.faults, spec.duration)
@@ -111,6 +123,16 @@ def collect_result(
     if driver is not None:
         client_stats["arrivals"] = driver.arrivals
         client_stats["shed_arrivals"] = driver.shed_arrivals
+    findings = None
+    if hub is not None and hub.recorder is not None:
+        from repro.obs import DetectorConfig, findings_jsonable, run_detectors
+
+        findings = findings_jsonable(
+            run_detectors(
+                hub.recorder,
+                DetectorConfig(interval=spec.obs_sample_interval),
+            )
+        )
     return ExperimentResult(
         system=spec.system,
         clients=spec.clients,
@@ -131,6 +153,7 @@ def collect_result(
             checker.finish(cluster, lag_slack=2.0) if checker is not None else None
         ),
         obs=hub,
+        findings=findings,
         sim_stats={
             "dispatched_events": cluster.loop.dispatched_events,
             "peak_heap": cluster.loop.peak_heap,

@@ -111,6 +111,32 @@ class IdemReplica(BaseReplica):
         """Number of occupied active slots (``r_now`` in the paper)."""
         return len(self.active)
 
+    def _probe_timers(self) -> tuple:
+        return super()._probe_timers() + (self._require_timer,)
+
+    def probe_state(self) -> dict[str, float]:
+        state = super().probe_state()
+        state["active_slots"] = float(len(self.active))
+        threshold = getattr(self.acceptance, "threshold", None)
+        if threshold is not None:
+            state["admission_threshold"] = float(threshold)
+        state["request_store"] = float(len(self.request_store))
+        state["rejected_cache"] = float(len(self.rejected_cache))
+        # Active entries the dedup check has killed (onr at or below the
+        # client's executed operation number).  Invariantly transient:
+        # _release_dedup_dead frees them on the client's next request,
+        # so a sustained non-zero count is the active-slot leak
+        # (the active_set_leak drift rule).
+        executed_onr = self.executed_onr
+        state["dead_slots"] = float(
+            sum(
+                1
+                for rid in self.active
+                if executed_onr.get(rid[0], 0) >= rid[1]
+            )
+        )
+        return state
+
     def _on_request(self, src: Address, message: Request) -> None:
         self.stats["requests_seen"] += 1
         rid = message.rid
@@ -145,6 +171,7 @@ class IdemReplica(BaseReplica):
                     getattr(self.acceptance, "threshold", None),
                     self.acceptance.last_reason,
                 )
+            self._release_dedup_dead(rid[0])
             self._cache_rejected(message)
             self.send(src, Reject(rid))
 
@@ -155,6 +182,7 @@ class IdemReplica(BaseReplica):
         self.request_store[rid] = request
         self.stats["accepted"] += 1
         self._supersede_stale_active(rid)
+        self._release_dedup_dead(rid[0])
         self._route_require(rid)
         if not self._progress_timer.running:
             self._progress_timer.start()
@@ -177,6 +205,34 @@ class IdemReplica(BaseReplica):
                 self.request_store.pop(previous, None)
                 self._cache_rejected(entry.request)
         self._latest_active[cid] = rid
+
+    def _release_dedup_dead(self, cid: int) -> None:
+        """Free active slots of ``cid`` that the dedup check has killed.
+
+        A request id with ``onr <= executed_onr[cid]`` can never execute
+        again: ``_note_require`` and ``_resolve_bodies`` both skip it,
+        so nothing will ever pop its active entry.  Supersession
+        (:meth:`_supersede_stale_active`) only reclaims the client's
+        single *previous unproposed* entry — it misses proposed-but-dead
+        entries, and on a leader that is rejecting everything it never
+        runs at all.  Under a reject-retry storm (each retry bumps
+        ``onr``, executed elsewhere via forwards) the leaked slots pin
+        the active set at the threshold permanently (the metastable
+        wedge analysed in ``docs/RESILIENCE.md``).  Sweeping the
+        client's dead entries on every request — accepted or rejected —
+        closes the leak; bodies move to the rejected cache so a late
+        proposal or fetch by another replica can still be served.
+        """
+        executed = self.executed_onr.get(cid, 0)
+        if not executed:
+            return
+        dead = sorted(
+            rid for rid in self.active if rid[0] == cid and rid[1] <= executed
+        )
+        for rid in dead:
+            entry = self.active.pop(rid)
+            self.request_store.pop(rid, None)
+            self._cache_rejected(entry.request)
 
     def _route_require(self, rid: Rid) -> None:
         """Announce an accepted id to whoever orders it (the leader)."""
@@ -374,6 +430,10 @@ class IdemReplica(BaseReplica):
         entry = self.active.pop(rid, None)  # free the slot
         if entry is not None:
             self.acceptance.observe_completion(self.loop.now - entry.accept_time)
+        # Executing (cid, onr) dedup-kills every lower active entry of
+        # the client; free them now rather than waiting for its next
+        # request (which during think time can be a second away).
+        self._release_dedup_dead(rid[0])
         if self.is_leader:
             self._reply_to_client(rid, result)
         else:

@@ -32,6 +32,16 @@ A chaos arm crashes a follower mid-spike under IDEM with naive clients
 and checks the safety invariants: rejection plus retries plus a crash
 must never break linearizability of the replicated log.
 
+The ``naive-any`` arm retries *every* failed outcome, rejections
+included — the client behaviour that defeats proactive rejection's
+backoff guidance and historically exposed the IDEM active-slot leak
+(dedup-dead request ids pinning a replica at its threshold; fixed by
+``IdemReplica._release_dedup_dead``, see ``docs/RESILIENCE.md``).
+The arm must recover once the spike passes, and it runs with
+replica-state probes on (``RunSpec.probes``) so the drift detectors
+(``active_set_leak`` among them) audit every run of the figure — its
+finding count is a gated headline and must stay zero.
+
 The CPU cost model is scaled up ~30x (``STORM_COST_SCALE``) so the knee
 sits at a few hundred requests/second and a 400-client open-loop pool
 is comfortably above saturation; this keeps the figure's runtime in CI
@@ -111,6 +121,21 @@ BUDGET_RETRY = dict(
     NAIVE_RETRY, retry_budget_rate=0.5, retry_budget_cap=2.0
 )
 
+#: The reject-retrying client: treats a rejection like any other
+#: failure and re-issues the command (``retry_on="any"``), defeating
+#: IDEM's backoff guidance.  Fewer attempts and a wider backoff than
+#: NAIVE_RETRY keep the post-spike retry pressure bounded — with
+#: NAIVE_RETRY's cadence the reject-retry feedback loop saturates the
+#: replicas permanently (the paxos-style metastable wedge, with no
+#: admission mechanism left to break it).
+ANY_RETRY = dict(
+    NAIVE_RETRY,
+    retry_on="any",
+    retry_max_attempts=3,
+    retry_base_delay=0.05,
+    retry_max_delay=0.2,
+)
+
 #: Mid-spike follower crash time for the chaos arm.
 CHAOS_CRASH_TIME = (SPIKE_PHASE + 0.5) * PHASE
 
@@ -136,6 +161,9 @@ class StormRun:
     shed_arrivals: int
     crashed: bool = False
     safety_violations: list[str] = field(default_factory=list)
+    # Drift-detector finding count for probed arms; None when the arm
+    # ran without probes.
+    drift_findings: int | None = None
 
 
 def storm_profile() -> ClusterProfile:
@@ -171,6 +199,7 @@ def storm_spec(
     seed: int = 0,
     faults: FaultSchedule | None = None,
     safety: bool = False,
+    probes: bool = False,
 ) -> RunSpec:
     """The spec of one storm arm."""
     return RunSpec(
@@ -185,6 +214,7 @@ def storm_spec(
         faults=faults,
         safety=safety,
         keep_metrics=True,
+        probes=probes,
     )
 
 
@@ -195,9 +225,10 @@ def measure_storm(
     seed: int = 0,
     faults: FaultSchedule | None = None,
     safety: bool = False,
+    probes: bool = False,
 ) -> StormRun:
     """Run one arm and reduce it to per-phase goodput and counters."""
-    spec = storm_spec(system, policy, overrides, seed, faults, safety)
+    spec = storm_spec(system, policy, overrides, seed, faults, safety, probes)
     result = common.execute_run(spec)
     metrics = result.metrics
     phase_goodput = [
@@ -229,6 +260,9 @@ def measure_storm(
         shed_arrivals=int(stats.get("shed_arrivals", 0)),
         crashed=faults is not None,
         safety_violations=result.safety_violations or [],
+        drift_findings=(
+            len(result.findings) if result.findings is not None else None
+        ),
     )
 
 
@@ -246,7 +280,8 @@ class FigRData:
 
 
 def _cases(quick: bool):
-    """Scenario-fixed arms: (system, policy, overrides, faults, safety).
+    """Scenario-fixed arms: (system, policy, overrides, faults, safety,
+    probes).
 
     The scenario is identical in quick and full mode: the storm is a
     single calibrated operating point (spike height, client deadline and
@@ -257,12 +292,15 @@ def _cases(quick: bool):
     idem = dict(BASE_OVERRIDES, **IDEM_OVERRIDES)
     chaos = FaultSchedule().crash_follower(CHAOS_CRASH_TIME)
     return [
-        ("paxos", "none", BASE_OVERRIDES, None, False),
-        ("paxos", "naive", dict(BASE_OVERRIDES, **NAIVE_RETRY), None, False),
-        ("paxos", "budget", dict(BASE_OVERRIDES, **BUDGET_RETRY), None, False),
-        ("idem", "none", idem, None, False),
-        ("idem", "naive", dict(idem, **NAIVE_RETRY), None, False),
-        ("idem", "naive+crash", dict(idem, **NAIVE_RETRY), chaos, True),
+        ("paxos", "none", BASE_OVERRIDES, None, False, False),
+        ("paxos", "naive", dict(BASE_OVERRIDES, **NAIVE_RETRY), None, False, False),
+        ("paxos", "budget", dict(BASE_OVERRIDES, **BUDGET_RETRY), None, False, False),
+        ("idem", "none", idem, None, False, False),
+        ("idem", "naive", dict(idem, **NAIVE_RETRY), None, False, False),
+        # The reject-retrying client that exposed the active-slot leak:
+        # probed, so the drift detectors audit every run of this arm.
+        ("idem", "naive-any", dict(idem, **ANY_RETRY), None, False, True),
+        ("idem", "naive+crash", dict(idem, **NAIVE_RETRY), chaos, True, False),
     ]
 
 
@@ -278,8 +316,8 @@ def plan_runs(
     ignored: the storm arms are scenario-fixed single runs.
     """
     return [
-        storm_spec(system, policy, overrides, seed0, faults, safety)
-        for system, policy, overrides, faults, safety in _cases(quick)
+        storm_spec(system, policy, overrides, seed0, faults, safety, probes)
+        for system, policy, overrides, faults, safety, probes in _cases(quick)
     ]
 
 
@@ -296,8 +334,8 @@ def run(
     """
     return FigRData(
         [
-            measure_storm(system, policy, overrides, seed0, faults, safety)
-            for system, policy, overrides, faults, safety in _cases(quick)
+            measure_storm(system, policy, overrides, seed0, faults, safety, probes)
+            for system, policy, overrides, faults, safety, probes in _cases(quick)
         ]
     )
 

@@ -1,6 +1,8 @@
-"""Deterministic sim-time observability: metrics, lifecycle spans, exporters.
+"""Deterministic sim-time observability: metrics, lifecycle spans,
+replica-state probes, the flight recorder, drift detection, exporters.
 
-See ``docs/OBSERVABILITY.md`` for the span model and usage examples.
+See ``docs/OBSERVABILITY.md`` for the span model, the probe catalog and
+the detector rule reference.
 """
 
 from repro.obs.analysis import (
@@ -11,8 +13,17 @@ from repro.obs.analysis import (
     resilience_summary,
     top_slowest,
 )
+from repro.obs.detect import (
+    DetectorConfig,
+    DetectorRule,
+    Finding,
+    RULES,
+    findings_jsonable,
+    run_detectors,
+)
 from repro.obs.export import chrome_trace_events, write_chrome_trace, write_jsonl
 from repro.obs.hub import ObservabilityHub
+from repro.obs.probes import Probeable, ProbeSampler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import (
     ClientObserver,
@@ -20,24 +31,48 @@ from repro.obs.spans import (
     RequestTracer,
     TraceEvent,
 )
+from repro.obs.timeseries import (
+    FlightRecorder,
+    PercentileSketch,
+    Series,
+    WindowStats,
+    series_counter_events,
+    write_series_chrome_trace,
+    write_series_jsonl,
+)
 
 __all__ = [
     "ClientObserver",
     "Counter",
+    "DetectorConfig",
+    "DetectorRule",
+    "Finding",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "ObservabilityHub",
+    "PercentileSketch",
+    "Probeable",
+    "ProbeSampler",
+    "RULES",
     "ReplicaObserver",
     "RequestBreakdown",
     "RequestTracer",
+    "Series",
     "TraceEvent",
+    "WindowStats",
     "build_breakdowns",
     "chrome_trace_events",
+    "findings_jsonable",
     "reject_reason_histogram",
     "render_report",
     "resilience_summary",
+    "run_detectors",
+    "series_counter_events",
     "top_slowest",
     "write_chrome_trace",
     "write_jsonl",
+    "write_series_chrome_trace",
+    "write_series_jsonl",
 ]

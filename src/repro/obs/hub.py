@@ -19,17 +19,27 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.obs.probes import ProbeSampler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import FAULT, ClientObserver, ReplicaObserver, RequestTracer
+from repro.obs.timeseries import FlightRecorder
 
 
 class ObservabilityHub:
-    """Bundles a tracer and a registry and wires them into a cluster."""
+    """Bundles a tracer and a registry and wires them into a cluster.
+
+    With ``probes=True`` the hub also owns a flight recorder
+    (:class:`~repro.obs.timeseries.FlightRecorder`) and records a probe
+    sample of every node on the same tick that drives observer
+    sampling — probing schedules no loop events of its own, so a probed
+    run and a merely-observed run see the identical event sequence.
+    """
 
     def __init__(
         self,
         sample_interval: float = 0.01,
         max_events: int = 2_000_000,
+        probes: bool = False,
     ):
         if sample_interval <= 0:
             raise ValueError(
@@ -40,6 +50,11 @@ class ObservabilityHub:
         self.registry = MetricsRegistry()
         self.cluster = None
         self._sampling_until = -math.inf
+        self.recorder: Optional[FlightRecorder] = None
+        self._probe_sampler: Optional[ProbeSampler] = None
+        if probes:
+            self.recorder = FlightRecorder()
+            self._probe_sampler = ProbeSampler(self.recorder, sample_interval)
 
     def attach(self, cluster, horizon: Optional[float] = None) -> "ObservabilityHub":
         """Wire observers into every node of ``cluster``.
@@ -69,6 +84,8 @@ class ObservabilityHub:
             observer = replica.obs
             if observer is not None:
                 observer.sample(self.sample_interval)
+        if self._probe_sampler is not None:
+            self._probe_sampler.sample(cluster)
         next_time = cluster.loop.now + self.sample_interval
         if next_time <= self._sampling_until:
             cluster.loop.call_after(self.sample_interval, self._sample_tick)
@@ -131,3 +148,5 @@ class ObservabilityHub:
                 fault.time, "faults", FAULT, None,
                 {"label": label, "begin": fault.time, "end": min(end, horizon)},
             )
+            if self.recorder is not None:
+                self.recorder.mark(fault.time, min(end, horizon), str(label))

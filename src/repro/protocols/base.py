@@ -223,6 +223,38 @@ class BaseReplica(NetworkNode):
         """Address of the current view's leader."""
         return replica_address(self.leader_of(self.view))
 
+    # -- introspection (repro.obs probe layer) -------------------------
+
+    def _probe_timers(self) -> tuple:
+        """The replica's protocol timers, for the timer-population probe.
+
+        Subclasses with extra timers extend the tuple.
+        """
+        return (self._progress_timer, self._batch_timer)
+
+    def probe_state(self) -> dict[str, float]:
+        """Flat snapshot of protocol internals for the probe layer.
+
+        Read-only by contract (``repro.obs.probes.Probeable``): values
+        are plain floats, computing them must not touch any state.
+        Subclasses extend the dict with their admission bookkeeping
+        (``active_slots``, ``admission_threshold``).
+        """
+        stats = self.stats
+        return {
+            "queue_depth": float(self.processor.queue_length),
+            "busy_time": float(self.processor.busy_time),
+            "inflight_rounds": float(len(self._unexecuted)),
+            "window_backlog": float(self.next_sqn - 1 - self.exec_sqn),
+            "executed_total": float(stats["executed"]),
+            "accepted_total": float(stats["accepted"]),
+            "rejected_total": float(stats["rejected"]),
+            "view": float(self.view),
+            "timers_running": float(
+                sum(1 for timer in self._probe_timers() if timer.running)
+            ),
+        }
+
     def crash(self) -> None:
         """Crash this replica: no more processing, sending or receiving."""
         self.halted = True

@@ -31,6 +31,11 @@ class BftSmartReplica(BaseReplica):
         self.pool: dict[Rid, Request] = {}
         self._handlers[ProposeFull] = self._on_propose_full
 
+    def probe_state(self) -> dict[str, float]:
+        state = super().probe_state()
+        state["active_slots"] = float(len(self.pool))
+        return state
+
     # ------------------------------------------------------------------
     # Client requests: everyone pools, the leader proposes
     # ------------------------------------------------------------------

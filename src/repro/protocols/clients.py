@@ -118,6 +118,20 @@ class BaseClient(NetworkNode):
         # Optional observability facade (repro.obs.ClientObserver).
         self.obs = None
 
+    def probe_state(self) -> dict[str, float]:
+        """Flat counter snapshot for the probe layer (read-only; the
+        sampler aggregates these over the whole client population)."""
+        return {
+            "commands": float(self.commands_started),
+            "sends": float(self.sends),
+            "retries": float(self.retries),
+            "hedges": float(self.hedges),
+            "give_ups": float(self.give_ups),
+            "successes": float(self.successes),
+            "rejections": float(self.rejections),
+            "timeouts": float(self.timeouts),
+        }
+
     # -- lifecycle -----------------------------------------------------
 
     def start(self, at: float) -> None:

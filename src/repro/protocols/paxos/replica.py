@@ -52,6 +52,14 @@ class PaxosReplica(BaseReplica):
         self.relayed: dict[Rid, Request] = {}
         self._handlers[ProposeFull] = self._on_propose_full
 
+    def probe_state(self) -> dict[str, float]:
+        state = super().probe_state()
+        state["active_slots"] = float(len(self.outstanding))
+        state["relayed"] = float(len(self.relayed))
+        if self.config.leader_rejection:
+            state["admission_threshold"] = float(self.config.reject_threshold)
+        return state
+
     # ------------------------------------------------------------------
     # Client requests
     # ------------------------------------------------------------------

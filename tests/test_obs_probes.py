@@ -1,0 +1,320 @@
+"""Tests for the probe layer and the time-series flight recorder.
+
+Covers the ring buffer's eviction bounds, windowed aggregation against
+a naive reference, the percentile sketch's monotonicity and lifetime
+semantics, byte-stable exports, the observer-purity of probed runs
+(retries, hedging, chaos), the campaign payload roundtrip, and the
+hash-seed independence of the recorded series and detector output.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.faults import FaultSchedule
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.obs import (
+    FlightRecorder,
+    PercentileSketch,
+    Series,
+    write_series_jsonl,
+)
+
+from tests.conftest import small_profile
+
+
+def _pseudo_values(n: int) -> list[float]:
+    """Deterministic, irregular values without any RNG."""
+    return [float((index * 37) % 11 + (index % 3) * 0.5) for index in range(n)]
+
+
+class TestSeriesRing:
+    def test_eviction_keeps_newest_maxlen_samples(self):
+        series = Series("replica-0", "x", maxlen=8)
+        for index in range(20):
+            series.record(index * 0.1, float(index))
+        assert len(series) == 8
+        assert series.count == 20
+        assert series.evicted == 12
+        assert series.values() == [float(i) for i in range(12, 20)]
+        assert series.times() == pytest.approx([i * 0.1 for i in range(12, 20)])
+        assert series.last_value == 19.0
+
+    def test_partial_fill_keeps_everything(self):
+        series = Series("replica-0", "x", maxlen=100)
+        for index in range(7):
+            series.record(float(index), float(index) * 2)
+        assert len(series) == 7
+        assert series.evicted == 0
+        assert series.values() == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0]
+
+    def test_value_at_steps_and_predates(self):
+        series = Series("n", "x", maxlen=16)
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert math.isnan(series.value_at(0.5))
+        assert series.value_at(1.0) == 10.0
+        assert series.value_at(1.5) == 10.0
+        assert series.value_at(5.0) == 20.0
+
+    def test_invalid_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            Series("n", "x", maxlen=0)
+
+
+class TestWindowAggregation:
+    def test_window_matches_naive_reference(self):
+        series = Series("n", "x", maxlen=64)
+        values = _pseudo_values(50)
+        for index, value in enumerate(values):
+            series.record(index * 0.05, value)
+        start, end = 0.6, 1.9
+        reference = [
+            value
+            for index, value in enumerate(values)
+            if start <= index * 0.05 <= end
+        ]
+        stats = series.window(start, end)
+        assert stats.count == len(reference)
+        assert stats.min == min(reference)
+        assert stats.max == max(reference)
+        assert stats.mean == pytest.approx(sum(reference) / len(reference))
+        assert stats.last == reference[-1]
+
+    def test_window_respects_eviction(self):
+        series = Series("n", "x", maxlen=10)
+        for index in range(30):
+            series.record(float(index), float(index))
+        # Samples 0..19 are gone; a window over them is empty.
+        assert series.window(0.0, 19.0).count == 0
+        assert series.window(20.0, 29.0).count == 10
+
+    def test_empty_window_is_nan(self):
+        series = Series("n", "x", maxlen=4)
+        series.record(1.0, 5.0)
+        stats = series.window(2.0, 3.0)
+        assert stats.count == 0
+        assert math.isnan(stats.min) and math.isnan(stats.mean)
+
+
+class TestPercentileSketch:
+    def test_quantiles_monotone_in_q(self):
+        sketch = PercentileSketch()
+        for value in _pseudo_values(500):
+            sketch.add(value * 13.7)
+        quantiles = [sketch.quantile(q / 100.0) for q in range(101)]
+        assert all(a <= b for a, b in zip(quantiles, quantiles[1:]))
+        assert quantiles[0] >= sketch.min
+        assert quantiles[-1] == sketch.max
+
+    def test_single_value_is_exact(self):
+        sketch = PercentileSketch()
+        for _ in range(10):
+            sketch.add(42.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert sketch.quantile(q) == pytest.approx(42.0)
+
+    def test_empty_and_invalid(self):
+        sketch = PercentileSketch()
+        assert math.isnan(sketch.quantile(0.5))
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            PercentileSketch(cap=0.0)
+
+    def test_lifetime_survives_ring_eviction(self):
+        series = Series("n", "x", maxlen=4)
+        for index in range(100):
+            series.record(float(index), float(index))
+        assert len(series) == 4  # ring kept almost nothing...
+        assert series.sketch.total == 100  # ...the sketch kept it all
+        median = series.quantile(0.5)
+        assert 40.0 <= median <= 60.0
+
+    def test_clamp_keeps_extremes_visible(self):
+        sketch = PercentileSketch(cap=100.0)
+        sketch.add(-5.0)
+        sketch.add(1e6)
+        assert sketch.min == -5.0
+        assert sketch.max == 1e6
+
+
+class TestRecorderExports:
+    def test_jsonl_is_insertion_order_independent(self):
+        def build(order: list[tuple[str, str]]) -> FlightRecorder:
+            recorder = FlightRecorder()
+            for node, name in order:
+                for tick in range(5):
+                    recorder.record(tick * 0.1, node, name, float(tick))
+            recorder.mark(0.2, 0.4, "fault")
+            return recorder
+
+        keys = [("replica-1", "b"), ("replica-0", "a"), ("clients", "c")]
+        first, second = io.StringIO(), io.StringIO()
+        write_series_jsonl(build(keys), first)
+        write_series_jsonl(build(list(reversed(keys))), second)
+        assert first.getvalue() == second.getvalue()
+
+    def test_jsonl_rows_are_time_ordered(self):
+        recorder = FlightRecorder()
+        recorder.record(0.2, "replica-0", "x", 1.0)
+        recorder.record(0.1, "replica-1", "y", 2.0)
+        stream = io.StringIO()
+        lines = write_series_jsonl(recorder, stream)
+        rows = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines == 2
+        assert [row["ts"] for row in rows] == [0.1, 0.2]
+
+    def test_lookup_orders_sorted(self):
+        recorder = FlightRecorder()
+        recorder.record(0.0, "replica-2", "z", 0.0)
+        recorder.record(0.0, "replica-0", "a", 0.0)
+        recorder.record(0.0, "replica-0", "b", 0.0)
+        assert recorder.nodes() == ["replica-0", "replica-2"]
+        assert recorder.names("replica-0") == ["a", "b"]
+        assert [key for key, _ in recorder.items()] == [
+            ("replica-0", "a"),
+            ("replica-0", "b"),
+            ("replica-2", "z"),
+        ]
+
+
+def _fingerprint(result):
+    return (
+        result.throughput,
+        result.latency,
+        result.reject_throughput,
+        result.timeouts,
+        tuple(sorted(result.traffic.items())),
+        tuple(tuple(sorted(stats.items())) for stats in result.replica_stats),
+    )
+
+
+class TestProbePurity:
+    """Probed runs are byte-identical to bare runs (observer-only)."""
+
+    def _spec(self, probes: bool, **kwargs) -> RunSpec:
+        kwargs.setdefault("system", "idem")
+        kwargs.setdefault("clients", 8)
+        kwargs.setdefault("duration", 0.8)
+        kwargs.setdefault("warmup", 0.2)
+        kwargs.setdefault("seed", 3)
+        kwargs.setdefault("profile", small_profile())
+        return RunSpec(probes=probes, **kwargs)
+
+    def test_identical_under_retries_and_rejection(self):
+        overrides = {
+            "reject_threshold": 2,
+            "retry_policy": "exponential",
+            "retry_on": "any",
+            "retry_max_attempts": 3,
+        }
+        plain = run_experiment(self._spec(False, overrides=overrides))
+        probed = run_experiment(self._spec(True, overrides=overrides))
+        assert _fingerprint(plain) == _fingerprint(probed)
+        assert probed.obs.recorder.samples_recorded > 0
+
+    def test_identical_under_hedging(self):
+        overrides = {"hedge_delay": 0.02}
+        plain = run_experiment(self._spec(False, overrides=overrides))
+        probed = run_experiment(self._spec(True, overrides=overrides))
+        assert _fingerprint(plain) == _fingerprint(probed)
+
+    def test_identical_across_crash_and_recovery(self):
+        faults = FaultSchedule().crash_follower(0.3).recover_replica(0.6)
+        plain = run_experiment(self._spec(False, faults=faults))
+        probed = run_experiment(
+            self._spec(True, faults=FaultSchedule().crash_follower(0.3).recover_replica(0.6))
+        )
+        assert _fingerprint(plain) == _fingerprint(probed)
+        # The crash window is annotated on the recording.
+        assert probed.obs.recorder.marks
+        # Downtime shows up as up=0 samples, not as a crash of the probe.
+        up = probed.obs.recorder.series("replica-1", "up")
+        assert 0.0 in up.values()
+
+    def test_probing_rides_the_observer_tick(self):
+        """Probes schedule no loop events beyond observer sampling."""
+        observed = run_experiment(self._spec(False, observe=True))
+        probed = run_experiment(self._spec(True))
+        assert (
+            observed.sim_stats["dispatched_events"]
+            == probed.sim_stats["dispatched_events"]
+        )
+
+
+class TestCampaignPayloadRoundtrip:
+    def test_probed_spec_roundtrips_through_json(self):
+        from repro.campaign.plan import payload_to_spec, spec_to_payload
+
+        spec = RunSpec(
+            system="idem",
+            clients=12,
+            duration=2.0,
+            warmup=0.4,
+            seed=7,
+            probes=True,
+            obs_sample_interval=0.02,
+        )
+        payload = json.loads(json.dumps(spec_to_payload(spec), sort_keys=True))
+        rebuilt = payload_to_spec(payload)
+        assert rebuilt.probes is True
+        assert rebuilt.obs_sample_interval == 0.02
+        assert rebuilt.system == "idem"
+        assert rebuilt.clients == 12
+        assert rebuilt.seed == 7
+
+
+_HASHSEED_SCRIPT = r"""
+import hashlib
+import io
+import json
+import sys
+
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.obs import write_series_jsonl
+
+spec = RunSpec(
+    system="idem",
+    clients=10,
+    duration=0.8,
+    warmup=0.2,
+    seed=5,
+    overrides={"reject_threshold": 2, "retry_policy": "exponential",
+               "retry_on": "any", "retry_max_attempts": 3},
+    probes=True,
+)
+result = run_experiment(spec)
+stream = io.StringIO()
+write_series_jsonl(result.obs.recorder, stream)
+digest = hashlib.sha256(stream.getvalue().encode()).hexdigest()
+print(json.dumps({"series": digest, "findings": result.findings},
+                 sort_keys=True))
+"""
+
+
+class TestHashSeedInvariance:
+    def test_series_and_findings_stable_across_hash_seeds(self):
+        outputs = []
+        for hash_seed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                part for part in ("src", env.get("PYTHONPATH", "")) if part
+            )
+            completed = subprocess.run(
+                [sys.executable, "-c", _HASHSEED_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert completed.returncode == 0, completed.stderr
+            outputs.append(completed.stdout)
+        assert outputs[0] == outputs[1]

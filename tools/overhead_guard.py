@@ -1,11 +1,19 @@
 #!/usr/bin/env python
 """Guard the observer-only contract of repro.obs.
 
-Runs one seeded scenario twice — tracing off, then on — and demands the
-two ExperimentResults agree on every measured field, including the
-per-replica protocol counters.  Any drift means instrumentation leaked
-into the simulation (scheduled an event, drew randomness, or mutated
-protocol state) and fails CI.
+Runs one seeded scenario three times — bare, traced (``observe=True``)
+and probed (``probes=True``) — and demands the three ExperimentResults
+agree on every measured field, including the per-replica protocol
+counters.  Any drift means instrumentation leaked into the simulation
+(scheduled an extra event the protocol can see, drew randomness, or
+mutated protocol state) and fails CI.
+
+The probed leg additionally checks a bounded-cost contract: the probe
+sampler must record samples (the recorder is live) while dispatching
+exactly as many simulation events as the traced leg — probing rides the
+observer sampling tick and schedules nothing of its own — and the
+sample count must stay within the sampling-cadence budget
+(ticks x series, with headroom for node churn).
 
 Usage::
 
@@ -69,6 +77,27 @@ def scenarios(system: str, seed: int) -> list[tuple[str, dict]]:
     ]
 
 
+def diff(reference, candidate) -> list[tuple[str, object, object]]:
+    return [
+        (name, a, b)
+        for (name, a), (_name, b) in zip(
+            fingerprint(reference), fingerprint(candidate)
+        )
+        if a != b
+    ]
+
+
+def probe_budget(spec: RunSpec, recorder) -> int:
+    """Upper bound on recorder samples for one run of ``spec``.
+
+    One probe pass records at most one sample per (node, series) pair;
+    passes fire on the sampling cadence, so ticks x series (plus one
+    pass of slack for boundary rounding) bounds the total.
+    """
+    ticks = int(spec.duration / spec.obs_sample_interval) + 1
+    return ticks * max(1, len(recorder))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--seed", type=int, default=1)
@@ -79,23 +108,56 @@ def main(argv: list[str] | None = None) -> int:
     for label, kwargs in scenarios(args.system, args.seed):
         plain = run_experiment(RunSpec(**kwargs))
         traced = run_experiment(RunSpec(**kwargs, observe=True))
-        drift = [
-            (name, a, b)
-            for (name, a), (_name, b) in zip(fingerprint(plain), fingerprint(traced))
-            if a != b
-        ]
-        events = len(traced.obs.tracer.events) if traced.obs else 0
-        if drift:
+        probed_spec = RunSpec(**kwargs, probes=True)
+        probed = run_experiment(probed_spec)
+
+        ok = True
+        for leg, result in (("tracing", traced), ("probes", probed)):
+            drift = diff(plain, result)
+            if drift:
+                failures += 1
+                ok = False
+                print(f"[{label}] DRIFT with {leg} on:")
+                for name, a, b in drift:
+                    print(f"  {name}:\n    off: {a}\n    on:  {b}")
+
+        # Probing must not change the event count either: it rides the
+        # sampling tick the traced leg already schedules.
+        traced_events = traced.sim_stats["dispatched_events"]
+        probed_events = probed.sim_stats["dispatched_events"]
+        if probed_events != traced_events:
             failures += 1
-            print(f"[{label}] DRIFT with tracing on ({events} events recorded):")
-            for name, a, b in drift:
-                print(f"  {name}:\n    off: {a}\n    on:  {b}")
-        else:
-            print(f"[{label}] ok: identical results, {events} trace events")
+            ok = False
+            print(
+                f"[{label}] probe OVERHEAD: {probed_events} dispatched "
+                f"events with probes vs {traced_events} traced"
+            )
+
+        recorder = probed.obs.recorder
+        budget = probe_budget(probed_spec, recorder)
+        if recorder.samples_recorded == 0:
+            failures += 1
+            ok = False
+            print(f"[{label}] probe recorder recorded nothing")
+        elif recorder.samples_recorded > budget:
+            failures += 1
+            ok = False
+            print(
+                f"[{label}] probe OVERHEAD: {recorder.samples_recorded} "
+                f"samples recorded, cadence budget is {budget}"
+            )
+
+        if ok:
+            events = len(traced.obs.tracer.events) if traced.obs else 0
+            print(
+                f"[{label}] ok: identical results, {events} trace events, "
+                f"{recorder.samples_recorded} probe samples "
+                f"(budget {budget}), {probed_events} dispatched events"
+            )
     if failures:
-        print(f"overhead guard FAILED: {failures} scenario(s) drifted", file=sys.stderr)
+        print(f"overhead guard FAILED: {failures} check(s) drifted", file=sys.stderr)
         return 1
-    print("overhead guard passed: tracing is observer-only")
+    print("overhead guard passed: tracing and probing are observer-only")
     return 0
 
 
