@@ -31,6 +31,7 @@ SIM_CORE = (
     "repro.app",
     "repro.workload",
     "repro.resilience",
+    "repro.population",
 )
 
 #: Modules allowed to read os.environ (DET004): the CLI boundary and the
@@ -59,6 +60,7 @@ RULE_SCOPES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
             "repro.cluster",
             "repro.core",
             "repro.resilience",
+            "repro.population",
         ),
         (),
     ),

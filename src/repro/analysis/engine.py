@@ -8,7 +8,7 @@ from pathlib import Path
 from typing import Iterable, Optional
 
 from repro.analysis import camp, config, det, perfrule, purity
-from repro.analysis.baseline import Baseline
+from repro.analysis.baseline import PLACEHOLDER_REASON, Baseline
 from repro.analysis.findings import CheckContext, Finding
 from repro.analysis.pragmas import parse_pragmas
 from repro.analysis.rules import RULES
@@ -132,6 +132,13 @@ def _lint_text(
             continue
         entry = baseline.match(finding)
         if entry is not None:
+            reason = entry.reason.strip()
+            if not reason or reason == PLACEHOLDER_REASON:
+                # A placeholder justification is no justification: the
+                # entry suppresses nothing, the finding stays active,
+                # and the gate fails hard until a real reason replaces
+                # the "TODO" stamped by --update-baseline.
+                continue
             finding.suppressed_by = "baseline"
             finding.suppression_reason = entry.reason
     return findings

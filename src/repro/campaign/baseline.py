@@ -119,6 +119,19 @@ def _figR_headlines(data: Any) -> dict[str, float]:
     return metrics
 
 
+def _figM_headlines(data: Any) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for run_ in data.runs:
+        key = f"{run_.system}.n{run_.clients}"
+        metrics[f"{key}.goodput"] = run_.goodput
+        metrics[f"{key}.p99_ms"] = run_.p99_ms
+        metrics[f"{key}.reject_rate"] = run_.reject_rate
+        # The backend's cost claim: simulation cost per request is flat
+        # in N (the 1M arm must not cost more events than the 10k arm).
+        metrics[f"{key}.events_per_request"] = run_.events_per_request
+    return metrics
+
+
 def _tab1_headlines(data: Any) -> dict[str, float]:
     metrics: dict[str, float] = {}
     loads = sorted({cell.load_label for cell in data.cells})
@@ -145,6 +158,7 @@ HEADLINE_EXTRACTORS: dict[str, Callable[[Any], dict[str, float]]] = {
     "fig9": _fig9_headlines,
     "fig10": _fig10_headlines,
     "figR": _figR_headlines,
+    "figM": _figM_headlines,
     "tab1": _tab1_headlines,
 }
 

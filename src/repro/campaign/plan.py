@@ -40,6 +40,7 @@ from repro.cluster.faults import (
 from repro.cluster.profile import ClusterProfile
 from repro.cluster.runner import RunSpec
 from repro.experiments.registry import get_experiment
+from repro.population.spec import PopulationSpec
 from repro.workload.open_loop import ArrivalSpec
 from repro.workload.schedule import (
     BurstSchedule,
@@ -58,7 +59,10 @@ from repro.workload.ycsb import YcsbProfile
 # gained schedule/arrivals entries (open-loop retry-storm runs).
 # 4 — RunSpec payloads gained probes/probe_interval (replica-state
 # probing + drift detection), ExperimentResult gained findings.
-CACHE_SCHEMA = 4
+# 5 — RunSpec payloads gained a population entry (repro.population
+# aggregate-client backend) and client_stats gained aggregate-pool
+# counters for population runs.
+CACHE_SCHEMA = 5
 
 KIND_SIM = "sim"
 KIND_CELL = "tab1-cell"
@@ -199,6 +203,16 @@ def payload_to_arrivals(payload: dict[str, Any]) -> ArrivalSpec:
     )
 
 
+def population_to_payload(population: PopulationSpec) -> dict[str, Any]:
+    """Serialise an aggregate client-population spec (frozen dataclass
+    of primitives, like the fault and arrival types)."""
+    return _check_jsonable(dataclasses.asdict(population), "PopulationSpec")
+
+
+def payload_to_population(payload: dict[str, Any]) -> PopulationSpec:
+    return PopulationSpec(**payload)
+
+
 def spec_to_payload(spec: RunSpec) -> dict[str, Any]:
     """Canonical JSON-safe description of a run spec.
 
@@ -225,6 +239,11 @@ def spec_to_payload(spec: RunSpec) -> dict[str, Any]:
         ),
         "arrivals": (
             None if spec.arrivals is None else arrivals_to_payload(spec.arrivals)
+        ),
+        "population": (
+            None
+            if spec.population is None
+            else population_to_payload(spec.population)
         ),
         "probes": spec.probes,
         "probe_interval": spec.obs_sample_interval,
@@ -258,6 +277,11 @@ def payload_to_spec(payload: dict[str, Any]) -> RunSpec:
             None
             if payload["arrivals"] is None
             else payload_to_arrivals(payload["arrivals"])
+        ),
+        population=(
+            None
+            if payload.get("population") is None
+            else payload_to_population(payload["population"])
         ),
         probes=payload["probes"],
         obs_sample_interval=payload["probe_interval"],

@@ -7,6 +7,7 @@ Usage::
     repro-experiments campaign --jobs 4     # parallel, cached campaign
     repro-experiments campaign --check      # gate against BENCH_* baselines
     repro-experiments lint --check          # detlint determinism/purity gate
+    repro-experiments population --validate # aggregate-vs-object equivalence
     repro-experiments --list
 """
 
@@ -39,13 +40,14 @@ def main(argv: list[str] | None = None) -> int:
         default="all",
         help=(
             "experiment id (fig2, fig3, fig6, fig7, tab1, fig8, fig9, fig10, "
-            "figR), "
+            "figR, figM), "
             "'all', 'campaign' for a parallel cached campaign, 'chaos' for a "
             "randomized fault-injection run, 'trace' for a traced run with "
             "request-lifecycle analysis, 'obs' for a probed run with "
             "replica-state series and drift detection, 'perf' for the "
-            "simulator microbenchmark scenarios, or 'lint' for the detlint "
-            "determinism/purity static-analysis pass"
+            "simulator microbenchmark scenarios, 'population' for the "
+            "aggregate-client backend validation harness, or 'lint' for the "
+            "detlint determinism/purity static-analysis pass"
         ),
     )
     parser.add_argument(
@@ -198,6 +200,15 @@ def main(argv: list[str] | None = None) -> int:
             "reject-retry storm arm (idem/naive-any; scenario-fixed)"
         ),
     )
+    population = parser.add_argument_group("population options")
+    population.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "population only: run the aggregate-vs-object-clients "
+            "equivalence sweep and exit 1 if any row is outside tolerance"
+        ),
+    )
     perf = parser.add_argument_group("perf options")
     perf.add_argument(
         "--scenarios",
@@ -227,6 +238,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_campaign_command(args)
     if args.experiment == "perf":
         return run_perf_command(args)
+    if args.experiment == "population":
+        return run_population_command(args)
 
     if args.list:
         for experiment_id, module in EXPERIMENTS.items():
@@ -392,6 +405,30 @@ def run_perf_command(args) -> int:
         print(report.render(), file=sys.stderr)
         return report.exit_code
     return 0
+
+
+def run_population_command(args) -> int:
+    """Validate the aggregate population backend against object clients.
+
+    Runs the exact-closed-loop equivalence sweep from
+    ``repro.population.validate`` (both backends, same seed, N in the
+    validation sweep) and prints the comparison table.  Exits 1 when
+    any row falls outside the tolerance bands — the CI
+    ``population-validate`` job's gate.  Without ``--validate`` this
+    prints usage guidance and exits 2.
+    """
+    from repro.population.validate import validate_population
+
+    if not args.validate:
+        print(
+            "population: nothing to do; pass --validate to run the "
+            "aggregate-vs-object-clients equivalence sweep",
+            file=sys.stderr,
+        )
+        return 2
+    report = validate_population(seed=args.seed if args.seed else 1)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def run_chaos_command(args) -> int:

@@ -44,8 +44,11 @@ from repro.protocols.clients import (
 from repro.protocols.config import ProtocolConfig
 from repro.protocols.paxos.config import PaxosConfig
 from repro.protocols.paxos.replica import PaxosReplica
+from repro.population.aggregate import AggregateClientNode
+from repro.population.spec import PopulationSpec
 from repro.sim.loop import EventLoop
 from repro.sim.rng import RngRegistry
+from repro.workload.open_loop import ArrivalSpec
 from repro.workload.schedule import LoadSchedule
 from repro.workload.ycsb import YcsbWorkload
 
@@ -263,6 +266,8 @@ def build_cluster(
     stop_time: float = math.inf,
     fallback_factory: Optional[Callable[[int], Callable]] = None,
     start_clients: bool = True,
+    population: Optional[PopulationSpec] = None,
+    arrivals: Optional[ArrivalSpec] = None,
 ) -> Cluster:
     """Assemble a ready-to-run cluster of ``system`` with ``clients`` clients.
 
@@ -274,6 +279,12 @@ def build_cluster(
     command).  Pass ``start_clients=False`` when an external driver
     (e.g. :class:`repro.workload.OpenLoopDriver`) owns client
     scheduling.
+
+    When ``population`` is set the per-object clients are replaced by a
+    single :class:`~repro.population.AggregateClientNode` standing in
+    for all ``clients`` virtual clients (see ``docs/WORKLOADS.md``);
+    ``arrivals`` then optionally drives it open-loop (otherwise the
+    node runs the spec's closed-loop / analytic-feedback modes).
     """
     if system not in SYSTEMS:
         raise ValueError(f"unknown system {system!r}; choose from {sorted(SYSTEMS)}")
@@ -291,6 +302,11 @@ def build_cluster(
         egress_bandwidth=profile.egress_bandwidth,
     )
     config = build_config(system, profile, overrides)
+    if population is not None and population.think_time is not None:
+        # The population's think time governs the whole run — including
+        # the retry policies' timeout backoff, exactly as it would for
+        # per-object clients configured with the same value.
+        config = dataclasses.replace(config, think_time=population.think_time)
     metrics = MetricsCollector(window_start, window_end, bucket_width)
     workload = YcsbWorkload(profile.workload)
 
@@ -304,6 +320,45 @@ def build_cluster(
         replica = make_replica(index)
         network.attach(replica)
         replicas.append(replica)
+
+    if population is not None:
+        if fallback_factory is not None:
+            raise ValueError(
+                "the aggregate population backend does not support "
+                "per-client fallback procedures"
+            )
+        node = AggregateClientNode(
+            population,
+            spec.client_class,
+            loop,
+            network,
+            config,
+            metrics,
+            workload,
+            rng,
+            clients,
+            stop_time=stop_time,
+            schedule=schedule,
+            arrivals=arrivals,
+            ramp=CLIENT_RAMP,
+        )
+        # The node is routed, not attached: replies to any fabricated
+        # client address land on it.
+        network.client_router = node
+        if start_clients:
+            node.start()
+        return Cluster(
+            system,
+            loop,
+            rng,
+            network,
+            config,
+            replicas,
+            [node],
+            metrics,
+            workload,
+            replica_factory=make_replica,
+        )
 
     client_nodes: list[BaseClient] = []
     for cid in range(clients):

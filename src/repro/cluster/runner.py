@@ -17,6 +17,8 @@ from repro.cluster.builder import Cluster, build_cluster
 from repro.cluster.faults import FaultSchedule
 from repro.cluster.metrics import ExperimentResult
 from repro.cluster.profile import ClusterProfile
+from repro.population.aggregate import AggregateClientNode
+from repro.population.spec import PopulationSpec
 from repro.workload.open_loop import ArrivalSpec, OpenLoopDriver
 from repro.workload.schedule import LoadSchedule
 
@@ -38,6 +40,13 @@ class RunSpec:
     # closed loop; an OpenLoopDriver feeds them Poisson arrivals at the
     # spec's piecewise rates instead (metastability experiments).
     arrivals: Optional[ArrivalSpec] = None
+    # Aggregate client population (repro.population): when set, the
+    # ``clients`` count becomes N *virtual* clients folded into one
+    # AggregateClientNode.  Composes with ``schedule`` (modulates the
+    # active population) and ``arrivals`` (drives the aggregate
+    # open-loop instead of closed-loop).  When None, nothing changes —
+    # runs are byte-identical to the per-object client path.
+    population: Optional[PopulationSpec] = None
     bucket_width: float = 0.25
     keep_metrics: bool = False
     # Attach a SafetyChecker and report invariant violations in the
@@ -76,14 +85,16 @@ def run_experiment(spec: RunSpec) -> ExperimentResult:
         schedule=spec.schedule,
         bucket_width=spec.bucket_width,
         stop_time=spec.duration,
-        start_clients=spec.arrivals is None,
+        start_clients=spec.arrivals is None or spec.population is not None,
+        population=spec.population,
+        arrivals=spec.arrivals if spec.population is not None else None,
     )
     driver = None
-    if spec.arrivals is not None:
+    if spec.arrivals is not None and spec.population is None:
         driver = OpenLoopDriver(
             cluster.loop,
             cluster.clients,
-            spec.arrivals.rate_at,
+            spec.arrivals,
             cluster.rng.stream("open_loop.arrivals"),
             stop_time=spec.duration,
         )
@@ -123,6 +134,15 @@ def collect_result(
     if driver is not None:
         client_stats["arrivals"] = driver.arrivals
         client_stats["shed_arrivals"] = driver.shed_arrivals
+    elif len(cluster.clients) == 1 and isinstance(
+        cluster.clients[0], AggregateClientNode
+    ):
+        node = cluster.clients[0]
+        client_stats["virtual_clients"] = node.n_clients
+        client_stats["arrivals"] = node.arrivals_generated
+        client_stats["shed_arrivals"] = node.shed_arrivals
+        client_stats["lost_arrivals"] = node.lost_arrivals
+        client_stats["feedback_ticks"] = node.feedback_ticks
     findings = None
     if hub is not None and hub.recorder is not None:
         from repro.obs import DetectorConfig, findings_jsonable, run_detectors

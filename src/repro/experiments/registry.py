@@ -28,6 +28,7 @@ from repro.experiments import (
     fig8_threshold,
     fig9_disruptive,
     fig10_replica_crash,
+    figM_million_users,
     figR_retry_storm,
     tab1_overhead,
 )
@@ -42,6 +43,7 @@ EXPERIMENTS: dict[str, ModuleType] = {
     "fig9": fig9_disruptive,
     "fig10": fig10_replica_crash,
     "figR": figR_retry_storm,
+    "figM": figM_million_users,
 }
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
-from repro.net.addresses import Address
+from repro.net.addresses import Address, CLIENT
 from repro.net.latency import LatencyModel, LogNormalLatency
 from repro.net.message import Message
 from repro.net.trace import message_rids
@@ -70,6 +70,12 @@ class Network:
         # Optional observer recording every sent message (see
         # repro.net.trace.MessageTracer).
         self.tracer = None
+        # Optional catch-all for client-kind addresses that have no
+        # attached node: an aggregate population node (repro.population)
+        # fabricates per-virtual-client source addresses, and replies to
+        # them all land on the one router.  ``None`` (the default)
+        # preserves the classic drop-if-unattached behaviour exactly.
+        self.client_router: Optional[NetworkNode] = None
         self._nodes: dict[Address, NetworkNode] = {}
         self._crashed: set[Address] = set()
         self._partitions: set[tuple[Address, Address]] = set()
@@ -183,7 +189,12 @@ class Network:
         (loss coin flip, then latency sample) so the two paths are
         byte-identical under a fixed seed.
         """
-        if dst in self._crashed or dst not in self._nodes:
+        if dst in self._crashed:
+            self.dropped_messages += 1
+            return
+        if dst not in self._nodes and (
+            self.client_router is None or dst.kind != CLIENT
+        ):
             self.dropped_messages += 1
             return
         if (src, dst) in self._partitions:
@@ -251,6 +262,9 @@ class Network:
             return
         node = self._nodes.get(dst)
         if node is None:
-            self.dropped_messages += 1
-            return
+            if self.client_router is not None and dst.kind == CLIENT:
+                node = self.client_router
+            else:
+                self.dropped_messages += 1
+                return
         node.deliver(src, message)

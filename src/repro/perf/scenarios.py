@@ -23,6 +23,7 @@ Scenario catalogue:
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -55,9 +56,18 @@ class PerfResult:
 
 def _measure(scenario: str, loop: EventLoop, run: Callable[[], None]) -> PerfResult:
     """Time ``run()`` and package the loop's counters."""
-    started = time.perf_counter()
-    run()
-    wall_seconds = time.perf_counter() - started
+    # A gen-2 collection pausing mid-measurement swings short (few-ms)
+    # samples far beyond the baseline band, so the timed region runs
+    # with the collector held off, like timeit does.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        run()
+        wall_seconds = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     dispatched = loop.dispatched_events
     return PerfResult(
         scenario=scenario,

@@ -1,0 +1,36 @@
+"""``repro.population`` — aggregate million-client workload backend.
+
+Every client elsewhere in the repo is a simulated object with its own
+timers and RNG streams, which caps realistic populations at a few
+hundred.  This package collapses N virtual clients into **one**
+:class:`AggregateClientNode` driving a single aggregate arrival process
+(Poisson, Markov-modulated for bursts, or schedule-modulated), with
+closed-loop feedback approximated analytically: the effective open-loop
+rate ``lambda_eff(t) = thinkers(t) / Z`` is recomputed on a periodic
+feedback tick from the think-pool population instead of firing one
+timer per client.  Per-virtual-client at-most-once state is fabricated
+on demand (seeded cid draws, one monotone onr counter), so memory and
+event cost are O(active requests), not O(N) — "1M users" at roughly
+one extra event per request.
+
+:class:`PopulationSpec` is the serialisable knob (rides campaign
+payloads like :class:`~repro.workload.open_loop.ArrivalSpec`);
+:mod:`repro.population.validate` proves the aggregate backend
+reproduces the per-object closed-loop curves at small N before anyone
+trusts it at large N.  See ``docs/WORKLOADS.md``.
+"""
+
+from repro.population.aggregate import AggregateClientNode, dissemination_mode
+from repro.population.spec import (
+    POPULATION_PROCESSES,
+    REJECT_REENTRY_MODES,
+    PopulationSpec,
+)
+
+__all__ = [
+    "AggregateClientNode",
+    "POPULATION_PROCESSES",
+    "REJECT_REENTRY_MODES",
+    "PopulationSpec",
+    "dissemination_mode",
+]

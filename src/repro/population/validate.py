@@ -1,0 +1,172 @@
+"""Validation harness: aggregate population vs per-object clients.
+
+The aggregate backend's claim is *behavioural equivalence at the
+boundary*: for the same (system, N, seed), a population run must
+reproduce the per-object closed-loop clients' throughput and latency
+tail within tight bands.  This module runs both backends side by side
+in the exact closed-loop regime (``Z == 0``, every completion re-issues
+— the regime where the aggregate makes no analytic approximation) and
+gates the comparison:
+
+* throughput within ``THROUGHPUT_TOLERANCE`` (±5 %),
+* p99 success latency within ``P99_TOLERANCE`` (±10 %).
+
+The harness runs via ``repro-experiments population --validate`` (CI's
+``population-validate`` job) and via the tier-1 test suite
+(``tests/test_population.py``), so the equivalence claim is enforced,
+not aspirational.  The analytic (``Z > 0``) mode's approximations —
+exponential think, shared retry budget, feedback-tick rate updates —
+are documented in ``docs/WORKLOADS.md`` and validated separately at
+coarser tolerances by the tests.
+
+The two backends cannot be bit-identical: the aggregate draws
+arrivals, cids and timing from pooled RNG streams where object clients
+own per-cid streams, and its lazy deadline queues quantise timeouts to
+the feedback tick.  Equivalence is therefore statistical, which is
+exactly what the figures consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.runner import RunSpec, run_experiment
+from repro.population.spec import PopulationSpec
+
+#: Relative tolerance for the throughput comparison.
+THROUGHPUT_TOLERANCE = 0.05
+
+#: Relative tolerance for the p99 success-latency comparison.
+P99_TOLERANCE = 0.10
+
+#: Population sizes compared (paper-scale closed-loop client counts).
+VALIDATION_SWEEP = (50, 100, 200)
+
+#: Systems compared: with and without proactive rejection.
+VALIDATION_SYSTEMS = ("idem", "paxos")
+
+#: Short runs keep the harness in smoke-test territory; the window is
+#: long enough for ~20k+ operations per arm at these client counts.
+DURATION = 0.4
+WARMUP = 0.15
+
+
+@dataclass
+class ValidationRow:
+    """One (system, N) comparison between the two backends."""
+
+    system: str
+    clients: int
+    ref_throughput: float
+    pop_throughput: float
+    ref_p99_ms: float
+    pop_p99_ms: float
+
+    @property
+    def throughput_error(self) -> float:
+        if self.ref_throughput == 0.0:
+            return 0.0 if self.pop_throughput == 0.0 else float("inf")
+        return abs(self.pop_throughput - self.ref_throughput) / self.ref_throughput
+
+    @property
+    def p99_error(self) -> float:
+        if self.ref_p99_ms == 0.0:
+            return 0.0 if self.pop_p99_ms == 0.0 else float("inf")
+        return abs(self.pop_p99_ms - self.ref_p99_ms) / self.ref_p99_ms
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.throughput_error <= THROUGHPUT_TOLERANCE
+            and self.p99_error <= P99_TOLERANCE
+        )
+
+
+@dataclass
+class ValidationReport:
+    """All rows of one validation sweep."""
+
+    rows: list[ValidationRow] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.rows) and all(row.ok for row in self.rows)
+
+    def render(self) -> str:
+        lines = [
+            "Population backend validation (closed loop, object clients "
+            "vs aggregate):",
+            "",
+            f"  {'system':8s} {'N':>5s} {'ref tput':>10s} {'pop tput':>10s} "
+            f"{'err':>6s} {'ref p99':>9s} {'pop p99':>9s} {'err':>6s}  verdict",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  {row.system:8s} {row.clients:>5d} "
+                f"{row.ref_throughput:>10.1f} {row.pop_throughput:>10.1f} "
+                f"{row.throughput_error * 100:>5.1f}% "
+                f"{row.ref_p99_ms:>8.3f} {row.pop_p99_ms:>8.3f} "
+                f"{row.p99_error * 100:>5.1f}%  "
+                + ("ok" if row.ok else "FAIL")
+            )
+        verdict = (
+            f"PASS (throughput within ±{THROUGHPUT_TOLERANCE * 100:.0f}%, "
+            f"p99 within ±{P99_TOLERANCE * 100:.0f}%)"
+            if self.ok
+            else "FAIL"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def validation_pair(
+    system: str, clients: int, seed: int = 1
+) -> tuple[RunSpec, RunSpec]:
+    """The (reference, population) specs of one comparison row.
+
+    Both run the exact closed loop: think time 0, same seed, same
+    duration/warmup.  The only difference is the backend.
+    """
+    reference = RunSpec(
+        system=system,
+        clients=clients,
+        duration=DURATION,
+        warmup=WARMUP,
+        seed=seed,
+    )
+    population = RunSpec(
+        system=system,
+        clients=clients,
+        duration=DURATION,
+        warmup=WARMUP,
+        seed=seed,
+        population=PopulationSpec(think_time=0.0),
+    )
+    return reference, population
+
+
+def validate_population(
+    systems: tuple[str, ...] = VALIDATION_SYSTEMS,
+    sweep: tuple[int, ...] = VALIDATION_SWEEP,
+    seed: int = 1,
+) -> ValidationReport:
+    """Run the full equivalence sweep and gate it."""
+    report = ValidationReport()
+    for system in systems:
+        for clients in sweep:
+            reference_spec, population_spec = validation_pair(
+                system, clients, seed
+            )
+            reference = run_experiment(reference_spec)
+            population = run_experiment(population_spec)
+            report.rows.append(
+                ValidationRow(
+                    system=system,
+                    clients=clients,
+                    ref_throughput=reference.throughput,
+                    pop_throughput=population.throughput,
+                    ref_p99_ms=reference.latency.p99 * 1e3,
+                    pop_p99_ms=population.latency.p99 * 1e3,
+                )
+            )
+    return report

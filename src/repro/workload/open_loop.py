@@ -15,11 +15,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import Callable, Optional, Union
 
 from repro.sim.loop import EventLoop
 
 RateLike = Union[float, Callable[[float], float]]
+
+# Re-check cadence while the rate is zero and the driver cannot know
+# when it will change (opaque rate callables only; ArrivalSpec plans
+# suspend until the exact phase boundary instead).
+_ZERO_RATE_POLL = 0.01
 
 
 @dataclass(frozen=True)
@@ -46,7 +51,13 @@ class ArrivalSpec:
             raise ValueError("arrival rates must be non-negative")
 
     def rate_at(self, time: float) -> float:
-        """The instantaneous arrival rate at simulated ``time``."""
+        """The instantaneous arrival rate at simulated ``time``.
+
+        Phase boundaries belong to the *new* phase: at exactly
+        ``time == start`` the step's rate applies (``>=``), so an
+        arrival landing precisely on a boundary deterministically draws
+        its next gap from the new rate.
+        """
         rate = 0.0
         for start, step_rate in self.steps:
             if time >= start:
@@ -54,6 +65,18 @@ class ArrivalSpec:
             else:
                 break
         return rate
+
+    def next_change(self, time: float) -> Optional[float]:
+        """The first phase-boundary time strictly after ``time``.
+
+        ``None`` once the last phase has begun — the rate is constant
+        from there on, which lets a driver sleeping through a zero-rate
+        phase suspend itself forever instead of polling.
+        """
+        for start, _ in self.steps:
+            if start > time:
+                return start
+        return None
 
     def max_rate(self) -> float:
         """The plan's peak rate (pool-sizing aid)."""
@@ -63,17 +86,21 @@ class ArrivalSpec:
 class OpenLoopDriver:
     """Drives a pool of protocol clients with Poisson arrivals.
 
-    ``rate`` is either a constant (arrivals per second) or a callable
-    mapping simulated time to the instantaneous rate (piecewise rates
-    model load spikes).  Clients must be built by the cluster builder
-    but not started; the driver takes ownership of their scheduling.
+    ``rate`` is a constant (arrivals per second), a callable mapping
+    simulated time to the instantaneous rate (piecewise rates model
+    load spikes), or an :class:`ArrivalSpec` — the spec form draws the
+    identical arrival sequence as passing ``spec.rate_at`` but lets the
+    driver *suspend* through zero-rate phases (sleep until the exact
+    phase boundary) instead of polling.  Clients must be built by the
+    cluster builder but not started; the driver takes ownership of
+    their scheduling.
     """
 
     def __init__(
         self,
         loop: EventLoop,
         clients: list,
-        rate: RateLike,
+        rate: Union[RateLike, ArrivalSpec],
         rng,
         stop_time: float = float("inf"),
     ):
@@ -81,7 +108,12 @@ class OpenLoopDriver:
             raise ValueError("open-loop driver needs at least one client")
         self.loop = loop
         self.clients = clients
-        self.rate = rate
+        if isinstance(rate, ArrivalSpec):
+            self._spec: Optional[ArrivalSpec] = rate
+            self.rate: RateLike = rate.rate_at
+        else:
+            self._spec = None
+            self.rate = rate
         self.rng = rng
         self.stop_time = stop_time
         self._idle: deque = deque(clients)
@@ -108,8 +140,16 @@ class OpenLoopDriver:
             return
         rate = self.current_rate()
         if rate <= 0.0:
-            # No load right now; re-check a little later.
-            self.loop.call_after(0.01, self._arrival)
+            # No load right now.  With a declarative plan we know the
+            # exact next phase boundary: sleep until it (or suspend
+            # forever if the rate stays zero) — no busy-wait churn.
+            # Opaque callables still need the short re-check poll.
+            if self._spec is not None:
+                boundary = self._spec.next_change(now)
+                if boundary is not None and boundary < self.stop_time:
+                    self.loop.call_at(boundary, self._arrival)
+                return
+            self.loop.call_after(_ZERO_RATE_POLL, self._arrival)
             return
         self.arrivals += 1
         if self._idle:

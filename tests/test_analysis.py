@@ -13,6 +13,7 @@ import pytest
 
 from repro.analysis import lint_paths, lint_source, main
 from repro.analysis.baseline import (
+    PLACEHOLDER_REASON,
     Baseline,
     BaselineEntry,
     load_baseline,
@@ -465,6 +466,21 @@ def test_baseline_stale_and_unjustified_tracking():
     stale = {entry.rule for entry in baseline.stale_entries()}
     assert "DET999" in stale
     assert baseline.unjustified_entries()
+
+
+def test_placeholder_baseline_entry_does_not_suppress():
+    """An entry still carrying the --update-baseline placeholder (or an
+    empty reason) suppresses nothing: the finding stays active, so the
+    gate fails hard until a real justification is written."""
+    module, positive, _ = FIXTURES["DET001"]
+    placeholder = baseline_for(positive, module, reason=PLACEHOLDER_REASON)
+    assert active_rules(lint(positive, module, baseline=placeholder)) == [
+        "DET001"
+    ]
+    empty = baseline_for(positive, module, reason="   ")
+    assert active_rules(lint(positive, module, baseline=empty)) == ["DET001"]
+    justified = baseline_for(positive, module)
+    assert active_rules(lint(positive, module, baseline=justified)) == []
 
 
 def test_regenerate_preserves_reasons():

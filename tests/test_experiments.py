@@ -200,7 +200,7 @@ class TestRegistry:
     def test_all_paper_artifacts_registered(self):
         assert set(EXPERIMENTS) == {
             "fig2", "fig3", "fig6", "fig7", "tab1", "fig8", "fig9", "fig10",
-            "figR",
+            "figR", "figM",
         }
 
     def test_unknown_id_raises(self):

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.cluster.builder import build_cluster
-from repro.workload.open_loop import OpenLoopDriver, spike_rate
+from repro.sim.loop import EventLoop
+from repro.sim.rng import RngRegistry
+from repro.workload.open_loop import ArrivalSpec, OpenLoopDriver, spike_rate
 
 from tests.conftest import small_profile
 
@@ -75,6 +77,101 @@ def test_driver_requires_clients():
     )
     with pytest.raises(ValueError):
         OpenLoopDriver(cluster.loop, [], 100.0, cluster.rng.stream("x"))
+
+
+class _StubClient:
+    """Minimal client for driver-only tests: completes instantly."""
+
+    def __init__(self):
+        self.driver = None
+        self.issued = 0
+
+    def _issue_next(self):
+        self.issued += 1
+        self.driver.client_finished(self, 0.0)
+
+
+def stub_driver(rate, stop_time=1.0, pool=4, seed=7):
+    loop = EventLoop()
+    clients = [_StubClient() for _ in range(pool)]
+    driver = OpenLoopDriver(
+        loop, clients, rate, RngRegistry(seed).stream("open-loop"), stop_time
+    )
+    driver.start(at=0.0)
+    return loop, driver
+
+
+class TestArrivalSpec:
+    def test_boundary_belongs_to_the_new_phase(self):
+        spec = ArrivalSpec(steps=((0.0, 100.0), (0.5, 900.0)))
+        assert spec.rate_at(0.5 - 1e-9) == 100.0
+        # An arrival landing exactly on the boundary deterministically
+        # draws its next gap from the new phase's rate.
+        assert spec.rate_at(0.5) == 900.0
+        assert spec.rate_at(0.7) == 900.0
+
+    def test_rate_before_the_first_step_is_zero(self):
+        spec = ArrivalSpec(steps=((0.2, 100.0),))
+        assert spec.rate_at(0.0) == 0.0
+        assert spec.rate_at(0.2) == 100.0
+
+    def test_next_change(self):
+        spec = ArrivalSpec(steps=((0.0, 100.0), (0.5, 0.0), (0.8, 200.0)))
+        assert spec.next_change(0.0) == 0.5
+        assert spec.next_change(0.5) == 0.8  # strictly after
+        assert spec.next_change(0.8) is None
+        assert spec.next_change(3.0) is None
+
+    def test_max_rate_over_a_modulated_plan(self):
+        spec = ArrivalSpec(
+            steps=((0.0, 100.0), (0.3, 2500.0), (0.4, 0.0), (0.9, 700.0))
+        )
+        assert spec.max_rate() == 2500.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalSpec(steps=())
+        with pytest.raises(ValueError):
+            ArrivalSpec(steps=((0.5, 100.0), (0.2, 50.0)))  # unsorted
+        with pytest.raises(ValueError):
+            ArrivalSpec(steps=((0.0, -1.0),))
+
+
+class TestZeroRateSuspension:
+    def test_spec_driver_suspends_through_zero_rate_phases(self):
+        """With a declarative plan the driver sleeps to the exact phase
+        boundary instead of polling every 10 ms."""
+        spec = ArrivalSpec(steps=((0.0, 0.0), (0.9, 0.0)))
+        loop, driver = stub_driver(spec, stop_time=1.0)
+        loop.run_until(1.0)
+        assert driver.arrivals == 0
+        # One event at t=0 (sees rate 0, schedules the boundary) and one
+        # at the 0.9 boundary (rate still 0, no further phases) — not
+        # ~100 zero-rate polls.
+        assert loop.dispatched_events <= 3
+
+    def test_spec_driver_suspends_forever_after_the_last_phase(self):
+        spec = ArrivalSpec(steps=((0.0, 0.0),))
+        loop, driver = stub_driver(spec, stop_time=5.0)
+        loop.run_until(5.0)
+        assert driver.arrivals == 0
+        assert loop.dispatched_events <= 1
+
+    def test_spec_driver_resumes_at_the_boundary(self):
+        spec = ArrivalSpec(steps=((0.0, 0.0), (0.5, 4000.0)))
+        loop, driver = stub_driver(spec, stop_time=1.0)
+        loop.run_until(1.0)
+        assert driver.arrivals > 0
+        issued = sum(client.issued for client in driver.clients)
+        assert issued == driver.arrivals - driver.shed_arrivals
+
+    def test_callable_rate_still_polls(self):
+        """Opaque callables cannot reveal their next change; the driver
+        keeps the short re-check poll (the pre-spec behaviour)."""
+        loop, driver = stub_driver(lambda t: 0.0, stop_time=0.3)
+        loop.run_until(0.3)
+        assert driver.arrivals == 0
+        assert loop.dispatched_events > 10
 
 
 def test_rejected_clients_respect_backoff():

@@ -185,7 +185,7 @@ def test_committed_baseline_covers_every_scenario():
 
 def perf_argv(*extra):
     return [
-        "perf", "--scenarios", "event_churn", "--repeat", "1",
+        "perf", "--scenarios", "event_churn", "--repeat", "2",
         "--scale", str(TINY), *extra,
     ]
 
