@@ -19,10 +19,12 @@ from repro.analysis.baseline import (
     write_baseline,
 )
 from repro.analysis.engine import lint_paths
+from repro.analysis.incremental import LintCache
 from repro.analysis.reporters import render_json, render_rule_catalog, render_text
 from repro.analysis.rules import RULES
 
 DEFAULT_BASELINE = Path("tools") / "detlint_baseline.json"
+DEFAULT_CACHE_DIR = Path(".detlint-cache")
 
 
 def default_paths() -> list[Path]:
@@ -71,6 +73,28 @@ def main(argv=None) -> int:
         "--rules", action="store_true", help="print the rule catalog and exit"
     )
     parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="enable the incremental cache (content-hash keyed; a warm "
+        "run over an unchanged tree re-analyses 0 modules)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="incremental mode shorthand: use the cache at "
+        f"{DEFAULT_CACHE_DIR} (unless --cache-dir says otherwise) and "
+        "list the modules that were re-analysed",
+    )
+    parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 log (GitHub code scanning)",
+    )
+    parser.add_argument(
         "--json",
         nargs="?",
         const="-",
@@ -107,18 +131,46 @@ def main(argv=None) -> int:
         print(f"detlint: no such path(s): {missing}", file=sys.stderr)
         return 2
 
-    report = lint_paths(paths, baseline=baseline, rules_filter=rules_filter)
+    cache = None
+    if args.cache_dir is not None or args.changed:
+        cache = LintCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+    report = lint_paths(
+        paths, baseline=baseline, rules_filter=rules_filter, cache=cache
+    )
 
     if args.update_baseline:
-        fresh = regenerate(baseline, report.active)
+        # Regenerate from everything not suppressed at the source:
+        # findings the old baseline covered keep their entries (and
+        # reasons); entries matching nothing are dropped as resolved.
+        keep = [f for f in report.findings if f.suppressed_by != "pragma"]
+        fresh = regenerate(baseline, keep)
+        resolved = [
+            entry
+            for entry in baseline.entries
+            if entry.key() not in {e.key() for e in fresh.entries}
+        ]
         path = write_baseline(args.baseline, fresh)
+        for entry in sorted(resolved, key=lambda e: e.key()):
+            print(
+                f"detlint: resolved: {entry.rule} in {entry.module} "
+                f"({entry.context!r}) no longer fires — entry dropped",
+                file=sys.stderr,
+            )
         placeholders = len(fresh.unjustified_entries())
         print(
             f"detlint: baseline rewritten to {path} "
-            f"({len(fresh.entries)} entr(y/ies), {placeholders} needing a reason)",
+            f"({len(fresh.entries)} entr(y/ies), {len(resolved)} resolved, "
+            f"{placeholders} needing a reason)",
             file=sys.stderr,
         )
         return 0
+
+    if args.sarif is not None:
+        from repro.analysis.sarif import write_sarif
+
+        write_sarif(args.sarif, report)
+        print(f"detlint: SARIF log written to {args.sarif}", file=sys.stderr)
 
     if args.json is not None:
         rendered = json.dumps(render_json(report), indent=2, sort_keys=True)

@@ -41,15 +41,27 @@ ENV_READ_ALLOWED = (
     "repro.experiments.settings",
 )
 
+#: Composition/configuration layers where topology must stay abstract
+#: (the PROTO family); protocol-owned policy lives outside this scope.
+TOPOLOGY_SCOPE = (
+    "repro.cluster",
+    "repro.experiments",
+    "repro.population",
+    "repro.workload",
+    "repro.campaign",
+    "repro.app",
+    "tools",
+)
+
 #: rule id -> (include prefixes, exclude prefixes).
 RULE_SCOPES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     # Wall clock: the sim core plus repro.obs (observers must timestamp
     # with sim time only).  The CLI and campaign engine measure wall
     # time on purpose (stderr-only content).
     "DET001": (SIM_CORE + ("repro.obs", "repro.experiments"), ()),
-    "DET002": (("repro",), ()),
-    "DET003": (("repro",), ()),
-    "DET004": (("repro",), ENV_READ_ALLOWED),
+    "DET002": (("repro", "tools"), ()),
+    "DET003": (("repro", "tools"), ()),
+    "DET004": (("repro", "tools"), ENV_READ_ALLOWED),
     # Hash-order-sensitive iteration matters where messages are
     # dispatched, ties broken and quorums counted.
     "DET005": (
@@ -61,17 +73,34 @@ RULE_SCOPES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
             "repro.core",
             "repro.resilience",
             "repro.population",
+            "repro.workload",
+            "tools",
         ),
         (),
     ),
-    "DET006": (("repro",), ()),
+    "DET006": (("repro", "tools"), ()),
     "OBS001": (("repro.obs",), ()),
     "OBS002": (("repro.obs",), ()),
     "OBS003": (SIM_CORE, ("repro.cluster",)),
     "OBS004": (("repro.obs",), ()),
+    "OBS005": (("repro.obs",), ()),
     "CAMP001": (("repro.campaign",), ()),
     "CAMP002": (("repro.campaign",), ()),
     "CAMP003": (("repro.campaign",), ()),
+    # Topology assumptions: the composition/configuration layers must
+    # not bake in the 3-replica topology.  Protocol-owned policy
+    # (repro.protocols, repro.core) legitimately implements quorum and
+    # leader arithmetic — except that quorum sizes inside protocols
+    # still route through ProtocolConfig (PROTO002 includes them, with
+    # repro.protocols.config itself as the single sanctioned owner).
+    "PROTO001": (TOPOLOGY_SCOPE, ()),
+    "PROTO002": (
+        TOPOLOGY_SCOPE + ("repro.protocols", "repro.core"),
+        ("repro.protocols.config",),
+    ),
+    "PROTO003": (TOPOLOGY_SCOPE, ()),
+    "PROTO004": (TOPOLOGY_SCOPE, ()),
+    "PROTO005": (TOPOLOGY_SCOPE, ()),
     # Hot-path hygiene: only where the dispatch/send loops live.  The
     # rest of the tree is free to prefer clarity over loop-hoisting.
     "PERF001": (("repro.sim", "repro.net"), ()),

@@ -1,4 +1,17 @@
-"""The detlint engine: walk files, run checkers, apply suppressions."""
+"""The detlint engine: walk files, run checkers, apply suppressions.
+
+v2 is project-wide: the tree is parsed once into a
+:class:`~repro.analysis.index.ProjectIndex`, the per-module family
+checkers (DET/OBS/CAMP/PROTO/PERF) run per file as before, and the
+interprocedural pass (:mod:`repro.analysis.interproc`) chases calls
+across modules for OBS005.  An optional :class:`LintCache` keyed on
+module content hashes (plus the import-dependency closure) makes a warm
+run over an unchanged tree re-analyse nothing.
+
+Suppression (pragmas, baseline) is applied *after* analysis on every
+run — cached entries hold raw findings only, so suppression edits never
+need cache invalidation.
+"""
 
 from __future__ import annotations
 
@@ -7,9 +20,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional
 
-from repro.analysis import camp, config, det, perfrule, purity
+from repro.analysis import camp, config, det, interproc, perfrule, proto, purity
 from repro.analysis.baseline import PLACEHOLDER_REASON, Baseline
 from repro.analysis.findings import CheckContext, Finding
+from repro.analysis.incremental import LintCache
+from repro.analysis.index import ProjectIndex, build_index
 from repro.analysis.pragmas import parse_pragmas
 from repro.analysis.rules import RULES
 
@@ -17,6 +32,7 @@ _FAMILY_CHECKERS = {
     "DET": det.check,
     "OBS": purity.check,
     "CAMP": camp.check,
+    "PROTO": proto.check,
     "PERF": perfrule.check,
 }
 
@@ -29,6 +45,12 @@ class LintReport:
     files_scanned: int = 0
     parse_errors: list[str] = field(default_factory=list)
     baseline: Baseline = field(default_factory=Baseline)
+    #: Modules the engine actually ran checkers over this run.
+    modules_analysed: list[str] = field(default_factory=list)
+    #: Modules served whole from the incremental cache.
+    modules_cached: list[str] = field(default_factory=list)
+    #: Whether an incremental cache was in play (stats become meaningful).
+    incremental: bool = False
 
     @property
     def active(self) -> list[Finding]:
@@ -49,13 +71,19 @@ class LintReport:
 
 
 def module_name_for(path: Path) -> str:
-    """Dotted module name of a source file, anchored at the ``repro`` dir."""
+    """Dotted module name of a source file.
+
+    Anchored at the ``repro`` package dir; repo tooling under ``tools/``
+    anchors there instead (``tools/overhead_guard.py`` ->
+    ``tools.overhead_guard``) so scopes can address it.
+    """
     parts = list(path.with_suffix("").parts)
     if parts and parts[-1] == "__init__":
         parts.pop()
-    for index in range(len(parts) - 1, -1, -1):
-        if parts[index] == "repro":
-            return ".".join(parts[index:])
+    for anchor in ("repro", "tools"):
+        for index in range(len(parts) - 1, -1, -1):
+            if parts[index] == anchor:
+                return ".".join(parts[index:])
     return ".".join(parts[-1:]) if parts else str(path)
 
 
@@ -71,58 +99,22 @@ def iter_python_files(paths: Iterable[Path]) -> list[Path]:
     return sorted(files)
 
 
-def lint_file(
-    path: Path,
-    baseline: Baseline,
-    module: Optional[str] = None,
-    rules_filter: Optional[set[str]] = None,
+def _module_findings(
+    context: CheckContext, tree: ast.AST
 ) -> list[Finding]:
-    """Lint one file; returns findings with suppression state applied."""
-    source = Path(path).read_text(encoding="utf-8")
-    return _lint_text(
-        source,
-        module or module_name_for(Path(path)),
-        str(path),
-        baseline,
-        rules_filter,
-    )
-
-
-def lint_source(
-    source: str,
-    module: str,
-    baseline: Optional[Baseline] = None,
-    rules_filter: Optional[set[str]] = None,
-) -> list[Finding]:
-    """Lint a source string as dotted ``module`` (fixture-test entry)."""
-    return _lint_text(
-        source, module, f"<{module}>", baseline or Baseline(), rules_filter
-    )
-
-
-def _lint_text(
-    source: str,
-    module: str,
-    path: str,
-    baseline: Baseline,
-    rules_filter: Optional[set[str]],
-) -> list[Finding]:
-    tree = ast.parse(source, filename=path)
-    lines = source.splitlines()
-    active_rules = config.rules_for_module(module)
-    if rules_filter is not None:
-        active_rules &= rules_filter
-    if not active_rules:
-        return []
-    context = CheckContext(
-        module=module, path=path, lines=lines, active_rules=active_rules
-    )
+    """Raw per-module findings (no suppression state)."""
     findings: list[Finding] = []
-    wanted_families = {RULES[rule_id].family for rule_id in active_rules}
+    wanted_families = {RULES[rule_id].family for rule_id in context.active_rules}
     for family, checker in _FAMILY_CHECKERS.items():
         if family in wanted_families:
             findings.extend(checker(context, tree))
-    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _apply_suppressions(
+    findings: list[Finding], lines: list[str], baseline: Baseline
+) -> None:
+    """Mark findings suppressed by pragmas or justified baseline entries."""
     pragmas = parse_pragmas(lines)
     for finding in findings:
         pragma = pragmas.get(finding.line)
@@ -141,23 +133,161 @@ def _lint_text(
                 continue
             finding.suppressed_by = "baseline"
             finding.suppression_reason = entry.reason
-    return findings
+
+
+def _context_for(
+    module: str, path: str, source: str, rules_filter: Optional[set[str]]
+) -> Optional[CheckContext]:
+    active_rules = config.rules_for_module(module)
+    if rules_filter is not None:
+        active_rules &= rules_filter
+    if not active_rules:
+        return None
+    return CheckContext(
+        module=module,
+        path=path,
+        lines=source.splitlines(),
+        active_rules=active_rules,
+    )
+
+
+def _lint_index(
+    index: ProjectIndex,
+    baseline: Baseline,
+    rules_filter: Optional[set[str]],
+    cache: Optional[LintCache],
+    report: LintReport,
+) -> None:
+    """Run the v2 pipeline over an already-built index into ``report``."""
+    # rules_filter changes what a module's findings mean, so a filtered
+    # run bypasses the cache entirely rather than poisoning it.
+    use_cache = cache is not None and rules_filter is None
+    names = sorted(index.modules)
+    raw_by_module: dict[str, list[Finding]] = {}
+    dirty: list[str] = []
+    closures: dict[str, dict[str, str]] = {}
+    for name in names:
+        closure_hashes = {name: index.modules[name].content_hash}
+        for dep in index.dep_closure(name):
+            closure_hashes[dep] = index.modules[dep].content_hash
+        closures[name] = closure_hashes
+        cached = cache.lookup(name, closure_hashes) if use_cache else None
+        if cached is not None:
+            raw_by_module[name] = cached
+            report.modules_cached.append(name)
+        else:
+            dirty.append(name)
+    if dirty:
+        # The cross-module pass needs summaries for *callees* of dirty
+        # modules; the index holds every parsed module, so computing
+        # facts over it once covers all of them.
+        facts, summaries = interproc.analyse(index)
+        for name in dirty:
+            info = index.modules[name]
+            context = _context_for(name, info.path, info.source, rules_filter)
+            findings: list[Finding] = []
+            if context is not None:
+                findings = _module_findings(context, info.tree)
+                findings.extend(
+                    interproc.check_module(context, index, facts, summaries)
+                )
+                findings.sort(key=Finding.sort_key)
+            raw_by_module[name] = findings
+            report.modules_analysed.append(name)
+            if use_cache:
+                cache.store(name, closures[name], findings)
+    if use_cache:
+        cache.drop_missing(set(names))
+        cache.save()
+    for name in names:
+        findings = raw_by_module.get(name, [])
+        if findings:
+            _apply_suppressions(
+                findings, index.modules[name].source.splitlines(), baseline
+            )
+        report.findings.extend(findings)
+    report.findings.sort(key=Finding.sort_key)
 
 
 def lint_paths(
     paths: Iterable[Path],
     baseline: Optional[Baseline] = None,
     rules_filter: Optional[set[str]] = None,
+    cache: Optional[LintCache] = None,
 ) -> LintReport:
-    """Lint every Python file under ``paths``."""
-    report = LintReport(baseline=baseline or Baseline())
-    for path in iter_python_files(paths):
-        try:
-            report.findings.extend(
-                lint_file(path, report.baseline, rules_filter=rules_filter)
-            )
-        except SyntaxError as error:
-            report.parse_errors.append(f"{path}: {error}")
-        report.files_scanned += 1
-    report.findings.sort(key=Finding.sort_key)
+    """Lint every Python file under ``paths`` (the project entry point)."""
+    report = LintReport(baseline=baseline or Baseline(), incremental=cache is not None)
+    files = iter_python_files(paths)
+    index, errors = build_index((module_name_for(path), path) for path in files)
+    report.files_scanned = len(files)
+    report.parse_errors.extend(errors)
+    _lint_index(index, report.baseline, rules_filter, cache, report)
     return report
+
+
+def lint_project(
+    sources: dict[str, str],
+    baseline: Optional[Baseline] = None,
+    rules_filter: Optional[set[str]] = None,
+) -> LintReport:
+    """Lint in-memory ``{module: source}`` as one project (fixtures)."""
+    report = LintReport(baseline=baseline or Baseline())
+    index = ProjectIndex()
+    for name, source in sources.items():
+        try:
+            index.add_source(name, source, f"<{name}>")
+        except SyntaxError as error:
+            report.parse_errors.append(f"<{name}>: {error}")
+    report.files_scanned = len(sources)
+    _lint_index(index, report.baseline, rules_filter, None, report)
+    return report
+
+
+def lint_file(
+    path: Path,
+    baseline: Baseline,
+    module: Optional[str] = None,
+    rules_filter: Optional[set[str]] = None,
+) -> list[Finding]:
+    """Lint one file in isolation (no cross-module context)."""
+    source = Path(path).read_text(encoding="utf-8")
+    return _lint_text(
+        source,
+        module or module_name_for(Path(path)),
+        str(path),
+        baseline,
+        rules_filter,
+    )
+
+
+def lint_source(
+    source: str,
+    module: str,
+    baseline: Optional[Baseline] = None,
+    rules_filter: Optional[set[str]] = None,
+) -> list[Finding]:
+    """Lint a source string as dotted ``module`` (fixture-test entry).
+
+    Runs the per-module checkers only; cross-module analysis needs
+    :func:`lint_project` / :func:`lint_paths`.
+    """
+    return _lint_text(
+        source, module, f"<{module}>", baseline or Baseline(), rules_filter
+    )
+
+
+def _lint_text(
+    source: str,
+    module: str,
+    path: str,
+    baseline: Baseline,
+    rules_filter: Optional[set[str]],
+) -> list[Finding]:
+    tree = ast.parse(source, filename=path)
+    context = _context_for(module, path, source, rules_filter)
+    if context is None:
+        return []
+    findings = _module_findings(context, tree)
+    findings.sort(key=Finding.sort_key)
+    _apply_suppressions(findings, context.lines, baseline)
+    return findings

@@ -1,0 +1,150 @@
+"""The incremental lint cache: re-analyse only what could have changed.
+
+Same content-addressing idiom as the campaign result cache
+(:mod:`repro.campaign.cache`): identities are sha256 hashes over exactly
+the bytes that determine the result, a schema/fingerprint version keys
+the whole store, and a corrupt file is silently treated as empty (the
+cache is an accelerator, never a source of truth).
+
+A module's findings are a function of
+
+* the engine itself — :func:`engine_fingerprint` covers the analysis
+  schema version, the rule catalog and the rule scopes, so changing any
+  rule invalidates everything;
+* its own source — the module content hash;
+* every project module in its import-dependency closure — the
+  cross-module passes (OBS005) read callee summaries, and callees are
+  only reachable through imports, so the closure's content hashes are
+  the complete read set.
+
+A warm run over an unchanged tree therefore re-analyses **0 modules**;
+editing one module re-analyses exactly that module and its dependents.
+Only raw (pre-suppression) findings are cached: pragmas and the
+baseline are re-applied on every run, so editing a suppression never
+requires invalidation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis import config
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULES
+
+#: Bump when the analysis logic changes in a way hashes cannot see.
+ANALYSIS_SCHEMA_VERSION = 2
+
+CACHE_FILE = "detlint-cache.json"
+
+
+def engine_fingerprint() -> str:
+    """Identity of the analysis configuration (rules + scopes + version)."""
+    payload = {
+        "schema": ANALYSIS_SCHEMA_VERSION,
+        "rules": sorted(RULES),
+        "scopes": {
+            rule: [sorted(include), sorted(exclude)]
+            for rule, (include, exclude) in config.RULE_SCOPES.items()
+        },
+        "mutating_methods": sorted(config.MUTATING_METHODS),
+        "sim_self_attrs": sorted(config.OBS_SIM_SELF_ATTRS),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _finding_to_raw(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "module": finding.module,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "source_line": finding.source_line,
+    }
+
+
+def _finding_from_raw(raw: dict) -> Finding:
+    return Finding(
+        rule=raw["rule"],
+        module=raw["module"],
+        path=raw["path"],
+        line=raw["line"],
+        col=raw["col"],
+        message=raw["message"],
+        source_line=raw.get("source_line", ""),
+    )
+
+
+class LintCache:
+    """One JSON store of per-module findings keyed by closure hashes."""
+
+    def __init__(self, cache_dir: Path):
+        self.cache_dir = Path(cache_dir)
+        self.path = self.cache_dir / CACHE_FILE
+        self.fingerprint = engine_fingerprint()
+        self._modules: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return  # corrupt cache == empty cache
+        if (
+            not isinstance(data, dict)
+            or data.get("fingerprint") != self.fingerprint
+        ):
+            return  # engine changed: every entry is void
+        modules = data.get("modules")
+        if isinstance(modules, dict):
+            self._modules = modules
+
+    def lookup(
+        self, module: str, closure_hashes: dict[str, str]
+    ) -> Optional[list[Finding]]:
+        """Cached raw findings if nothing in the read set changed."""
+        entry = self._modules.get(module)
+        if entry is None or entry.get("closure") != closure_hashes:
+            return None
+        return [_finding_from_raw(raw) for raw in entry.get("findings", [])]
+
+    def store(
+        self,
+        module: str,
+        closure_hashes: dict[str, str],
+        findings: list[Finding],
+    ) -> None:
+        self._modules[module] = {
+            "closure": closure_hashes,
+            "findings": [_finding_to_raw(f) for f in findings],
+        }
+        self._dirty = True
+
+    def drop_missing(self, present: set[str]) -> None:
+        """Forget modules that no longer exist in the tree."""
+        gone = [name for name in self._modules if name not in present]
+        for name in gone:
+            del self._modules[name]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": self.fingerprint,
+            "modules": self._modules,
+        }
+        self.path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        self._dirty = False

@@ -1,0 +1,319 @@
+"""Cross-module, interprocedural observer-purity analysis (OBS005).
+
+The v1 walk in :mod:`repro.analysis.purity` is function-local: it flags
+an observer that mutates a simulation object *directly*, but an
+observer that hands the object to a helper — possibly in another
+module, possibly two calls deep — walks straight past it.  This pass
+closes that hole:
+
+1. For every function in the :class:`~repro.analysis.index.ProjectIndex`
+   compute a *purity summary*: which of its parameters it mutates
+   (attribute/item writes, deletes, known-mutating method calls), with
+   parameter-to-parameter taint inside the body (``x = param`` then
+   ``x.field = 1`` counts).
+2. Propagate summaries over the call graph to a fixpoint: if ``f``
+   passes parameter ``p`` into ``g`` where ``g`` mutates it, then ``f``
+   mutates ``p`` too.  The propagation is monotone over a finite
+   lattice, so cycles in the call graph are safe.
+3. At every call site inside ``repro.obs``, check each argument that is
+   sim-rooted (same rooting rules as v1: parameters, names derived from
+   them, ``self.<attr>`` for ``config.OBS_SIM_SELF_ATTRS``) against the
+   callee's summary, and emit **OBS005** with the full mutation chain
+   when the callee (transitively) mutates it.
+
+Writes to the sanctioned hook attributes (``config.OBS_HOOK_ATTRS``)
+are not mutations, mirroring OBS001.  Limitations (by design, to stay
+quiet): mutation through return values, ``*args``/``**kwargs``
+forwarding and dynamically-dispatched receivers are not tracked.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis import config, purity
+from repro.analysis.astutil import root_of
+from repro.analysis.findings import CheckContext, Finding
+from repro.analysis.index import FunctionInfo, ProjectIndex, _dotted_expr
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Why a function is considered to mutate one of its parameters."""
+
+    param: str
+    detail: str  # human phrase: "assigns attribute `x`" etc.
+    via: tuple[str, ...] = ()  # call chain (callee fqns), direct = ()
+
+    def chain_text(self) -> str:
+        if not self.via:
+            return self.detail
+        return " -> ".join(self.via) + f", which {self.detail}"
+
+
+@dataclass
+class CallSite:
+    """One resolved call: where it happens and how arguments bind."""
+
+    node: ast.Call
+    callee: FunctionInfo
+    #: (callee parameter name, argument expression) pairs.
+    bindings: list[tuple[str, ast.AST]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionFacts:
+    """Local (intraprocedural) facts about one function."""
+
+    info: FunctionInfo
+    #: local name -> parameters it (transitively) derives from.
+    taint: dict[str, frozenset[str]] = field(default_factory=dict)
+    #: param -> first Mutation discovered (direct ones installed here).
+    mutations: dict[str, Mutation] = field(default_factory=dict)
+    calls: list[CallSite] = field(default_factory=list)
+
+
+_LOCAL_VALUE_TYPES = purity._LOCAL_VALUE_TYPES
+
+
+def _param_roots(facts: FunctionFacts, node: ast.AST) -> frozenset[str]:
+    """Which parameters the expression ``node`` derives from."""
+    root = root_of(node)
+    if root is None:
+        return frozenset()
+    kind, name = root
+    if kind == "self_attr":
+        # self.anything derives from self: mutating it mutates the
+        # receiver the caller handed in.
+        return facts.taint.get("self", frozenset())
+    return facts.taint.get(name, frozenset())
+
+
+def _collect_taint(facts: FunctionFacts, func: ast.AST) -> None:
+    """Two passes: (1) every param maps to itself, (2) follow bindings."""
+    for param in facts.info.params:
+        facts.taint[param] = frozenset({param})
+    # One forward sweep is enough for the assignment styles this
+    # codebase uses; a name rebound to a local value drops its taint.
+    for node in ast.walk(func):
+        targets: list[tuple[ast.AST, ast.AST]] = []
+        if isinstance(node, ast.Assign):
+            targets = [(t, node.value) for t in node.targets]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [(node.target, node.value)]
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            roots = _param_roots(facts, node.iter)
+            if roots:
+                for name_node in ast.walk(node.target):
+                    if isinstance(name_node, ast.Name):
+                        facts.taint[name_node.id] = roots
+            continue
+        for target, value in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, _LOCAL_VALUE_TYPES):
+                facts.taint.pop(target.id, None)
+            else:
+                roots = _param_roots(facts, value)
+                if roots:
+                    facts.taint[target.id] = roots
+
+
+def _record_mutation(facts: FunctionFacts, node: ast.AST, detail: str) -> None:
+    for param in sorted(_param_roots(facts, node)):
+        facts.mutations.setdefault(param, Mutation(param=param, detail=detail))
+
+
+def _collect_mutations(facts: FunctionFacts, func: ast.AST) -> None:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute):
+                    if target.attr in config.OBS_HOOK_ATTRS:
+                        continue
+                    _record_mutation(
+                        facts, target.value, f"assigns attribute `{target.attr}`"
+                    )
+                elif isinstance(target, ast.Subscript):
+                    _record_mutation(facts, target.value, "assigns an item")
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    _record_mutation(facts, target.value, "deletes from it")
+        elif isinstance(node, ast.Call):
+            func_node = node.func
+            if (
+                isinstance(func_node, ast.Attribute)
+                and func_node.attr in config.MUTATING_METHODS
+            ):
+                _record_mutation(
+                    facts, func_node.value, f"calls mutating `.{func_node.attr}()`"
+                )
+
+
+def _resolve_call(
+    index: ProjectIndex, module: str, enclosing_class: Optional[str], node: ast.Call
+) -> Optional[FunctionInfo]:
+    """Resolve the callee of a call node, or None."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return index.resolve_function(module, func.id)
+    if isinstance(func, ast.Attribute):
+        # self.helper(...) -> method of the enclosing class (with bases).
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and enclosing_class is not None
+        ):
+            methods = index.resolve_class_methods(module, enclosing_class)
+            return methods.get(func.attr)
+        dotted = _dotted_expr(func)
+        if dotted is not None:
+            return index.resolve_function(module, dotted)
+    return None
+
+
+def _bind_arguments(callee: FunctionInfo, node: ast.Call) -> list[tuple[str, ast.AST]]:
+    """Map call arguments onto callee parameter names (conservative)."""
+    params = callee.params
+    positional = params
+    offset = 0
+    is_method = "." in callee.qualname
+    receiver_self = is_method and params[:1] in (["self"], ["cls"])
+    if receiver_self and isinstance(node.func, ast.Attribute):
+        # obj.m(a) binds a to the parameter after self.
+        offset = 1
+    bindings: list[tuple[str, ast.AST]] = []
+    if receiver_self and isinstance(node.func, ast.Attribute):
+        bindings.append((params[0], node.func.value))
+    for position, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred):
+            continue
+        slot = position + offset
+        if slot < len(positional):
+            bindings.append((positional[slot], arg))
+    for keyword in node.keywords:
+        if keyword.arg is not None and keyword.arg in params:
+            bindings.append((keyword.arg, keyword.value))
+    return bindings
+
+
+def _collect_calls(
+    index: ProjectIndex,
+    facts: FunctionFacts,
+    func: ast.AST,
+    enclosing_class: Optional[str],
+) -> None:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = _resolve_call(index, facts.info.module, enclosing_class, node)
+        if callee is None or callee.key == facts.info.key:
+            continue
+        facts.calls.append(
+            CallSite(node=node, callee=callee, bindings=_bind_arguments(callee, node))
+        )
+
+
+def compute_facts(index: ProjectIndex) -> dict[tuple[str, str], FunctionFacts]:
+    """Local facts for every indexed function."""
+    all_facts: dict[tuple[str, str], FunctionFacts] = {}
+    for info in index.all_functions():
+        facts = FunctionFacts(info=info)
+        _collect_taint(facts, info.node)
+        _collect_mutations(facts, info.node)
+        enclosing = info.qualname.split(".")[0] if "." in info.qualname else None
+        _collect_calls(index, facts, info.node, enclosing)
+        all_facts[info.key] = facts
+    return all_facts
+
+
+def propagate_summaries(
+    all_facts: dict[tuple[str, str], FunctionFacts],
+) -> dict[tuple[str, str], dict[str, Mutation]]:
+    """Fixpoint: callers inherit callee parameter mutations."""
+    summaries = {key: dict(facts.mutations) for key, facts in all_facts.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, facts in all_facts.items():
+            mine = summaries[key]
+            for call in facts.calls:
+                callee_summary = summaries.get(call.callee.key)
+                if not callee_summary:
+                    continue
+                for callee_param, arg in call.bindings:
+                    mutation = callee_summary.get(callee_param)
+                    if mutation is None:
+                        continue
+                    for param in sorted(_param_roots(facts, arg)):
+                        if param in mine:
+                            continue
+                        mine[param] = Mutation(
+                            param=param,
+                            detail=mutation.detail,
+                            via=(call.callee.fqn,) + mutation.via,
+                        )
+                        changed = True
+    return summaries
+
+
+def check_module(
+    context: CheckContext,
+    index: ProjectIndex,
+    all_facts: dict[tuple[str, str], FunctionFacts],
+    summaries: dict[tuple[str, str], dict[str, Mutation]],
+) -> list[Finding]:
+    """OBS005 findings for one (obs-scoped) module."""
+    findings: list[Finding] = []
+    if "OBS005" not in context.active_rules:
+        return findings
+    for info in index.functions_of(context.module):
+        facts = all_facts.get(info.key)
+        if facts is None:
+            continue
+        # Sim-rootedness uses the v1 scope rules so v1 and v2 agree on
+        # what counts as simulation state.
+        scope = purity._Scope(info.params)
+        purity._collect_bindings(scope, info.node)
+        for call in facts.calls:
+            callee_summary = summaries.get(call.callee.key, {})
+            if not callee_summary:
+                continue
+            reported: set[str] = set()
+            for callee_param, arg in call.bindings:
+                mutation = callee_summary.get(callee_param)
+                if mutation is None or callee_param in reported:
+                    continue
+                if not scope.is_sim_rooted(arg):
+                    continue
+                reported.add(callee_param)
+                try:
+                    arg_text = ast.unparse(arg)
+                except Exception:
+                    arg_text = "a simulation object"
+                findings.append(
+                    context.make(
+                        "OBS005",
+                        call.node,
+                        f"observer passes `{arg_text}` to "
+                        f"{call.callee.fqn}(), which "
+                        f"{mutation.chain_text()} — simulation state must "
+                        "not be mutated through any call chain",
+                    )
+                )
+    return findings
+
+
+def analyse(
+    index: ProjectIndex,
+) -> tuple[
+    dict[tuple[str, str], FunctionFacts],
+    dict[tuple[str, str], dict[str, Mutation]],
+]:
+    """Convenience: facts + propagated summaries for a whole index."""
+    facts = compute_facts(index)
+    return facts, propagate_summaries(facts)

@@ -1,0 +1,335 @@
+"""PROTO family: topology assumptions outside protocol-owned policy.
+
+The ROADMAP's n-replica sweeps, leaderless baseline and geo-replication
+scenarios all require that *nothing outside* ``repro.protocols.config``
+bakes in the 3-replica topology.  These rules make the assumption
+mechanically findable:
+
+* PROTO001 — an integer literal bound to a replica-count / fault-
+  threshold name (``n``, ``f``, ``quorum`` …).  A count-name field
+  default on a ``*Profile``/``*Config``-style class is the sanctioned
+  explicit knob and stays allowed; a literal ``f`` is always derived
+  state and must come from ``repro.protocols.config.fault_tolerance``.
+* PROTO002 — quorum arithmetic spelled out by hand (``f + 1``,
+  ``2*f + 1``, ``len(...) // 2 + 1``, ``(n - 1) // 2``) instead of
+  ``ProtocolConfig.quorum`` / ``quorum_size`` / ``fault_tolerance``.
+* PROTO003 — hard-coded leader-index patterns: ``view % n`` arithmetic,
+  ``replicas[0]``, ``leader == 0`` comparisons.  Leader policy belongs
+  to ``ProtocolConfig.leader_of`` (and protocol classes).
+* PROTO004 — a fixed-length literal list/tuple bound to a replica-list
+  name in cluster/experiment/campaign configuration.
+* PROTO005 — crash/partition targets bounded by an integer literal
+  (``randrange(3)``, a literal index into the fault DSL); bounds must
+  derive from ``len(cluster.replicas)`` or the profile's ``n``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.findings import CheckContext, Finding
+
+#: The explicit topology knob (allowed as a config-class field default).
+COUNT_NAMES = frozenset({"n", "n_replicas", "num_replicas", "replica_count"})
+#: Always derived from n — a literal is always a PROTO001 finding.
+DERIVED_NAMES = frozenset({"f", "quorum", "quorum_size", "majority"})
+#: Class-name suffixes marking configuration carriers whose count-name
+#: field defaults are the sanctioned knob.
+CONFIG_CLASS_SUFFIXES = ("Profile", "Config", "Spec", "Options", "Settings")
+#: Fault-DSL entry points whose replica-index arguments must not be
+#: literals (the `at` timestamp comes first and is exempt).
+FAULT_TARGET_METHODS = frozenset(
+    {
+        "crash_replica",
+        "recover_replica",
+        "partition_replicas",
+        "heal_replicas",
+        "slow_replica",
+        "latency_spike",
+    }
+)
+#: Random-draw helpers whose literal bound encodes the cluster size.
+RANDOM_BOUND_FUNCS = frozenset({"randrange", "randint"})
+
+
+def _int_literal(node: ast.AST) -> Optional[int]:
+    if isinstance(node, ast.Constant) and type(node.value) is int:
+        return node.value
+    return None
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a Name/Attribute chain (``a.b.n`` -> n)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_count_expr(node: ast.AST) -> bool:
+    """n-ish: a count name, ``.n`` attribute, or ``len(...)``."""
+    name = _terminal_name(node)
+    if name in COUNT_NAMES:
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+    )
+
+
+def _is_f_expr(node: ast.AST) -> bool:
+    return _terminal_name(node) == "f"
+
+
+def _is_replicaish(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and "replica" in name
+
+
+def _mentions(node: ast.AST, fragment: str) -> bool:
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and fragment in name:
+            return True
+    return False
+
+
+class ProtoVisitor(ast.NodeVisitor):
+    """Emits the PROTO findings for one parsed file."""
+
+    def __init__(self, context: CheckContext):
+        self.ctx = context
+        self.findings: list[Finding] = []
+        self._class_stack: list[str] = []
+
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.ctx.active_rules:
+            self.findings.append(self.ctx.make(rule, node, message))
+
+    # -- structure ------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _in_config_class(self) -> bool:
+        return bool(self._class_stack) and self._class_stack[-1].endswith(
+            CONFIG_CLASS_SUFFIXES
+        )
+
+    # -- PROTO001: literal counts/thresholds ---------------------------
+
+    def _check_name_binding(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        if value is None or not isinstance(target, ast.Name):
+            return
+        literal = _int_literal(value)
+        if literal is None:
+            return
+        name = target.id
+        if name in DERIVED_NAMES:
+            self._emit(
+                "PROTO001",
+                target,
+                f"`{name} = {literal}` hard-codes a derived topology "
+                "quantity; compute it from the group size "
+                "(repro.protocols.config.fault_tolerance / quorum_size)",
+            )
+        elif name in COUNT_NAMES and not self._in_config_class():
+            self._emit(
+                "PROTO001",
+                target,
+                f"`{name} = {literal}` hard-codes the replica count; "
+                "thread it from ProtocolConfig/ClusterProfile (the "
+                "explicit topology knob)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_name_binding(target, node.value)
+        self._check_replica_list(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_name_binding(node.target, node.value)
+        if node.value is not None:
+            self._check_replica_list([node.target], node.value)
+        self.generic_visit(node)
+
+    # -- PROTO002: hand-rolled quorum arithmetic -----------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self._check_quorum_arithmetic(node)
+        self._check_leader_arithmetic(node)
+        self.generic_visit(node)
+
+    def _check_quorum_arithmetic(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Add):
+            for side, other in ((node.left, node.right), (node.right, node.left)):
+                if _int_literal(other) != 1:
+                    continue
+                if self._is_quorum_core(side):
+                    self._emit(
+                        "PROTO002",
+                        node,
+                        "hand-rolled quorum arithmetic; use "
+                        "ProtocolConfig.quorum (or "
+                        "repro.protocols.config.quorum_size)",
+                    )
+                    return
+        elif isinstance(node.op, ast.FloorDiv) and _int_literal(node.right) == 2:
+            left = node.left
+            if (
+                isinstance(left, ast.BinOp)
+                and isinstance(left.op, ast.Sub)
+                and _int_literal(left.right) == 1
+                and _is_count_expr(left.left)
+            ):
+                self._emit(
+                    "PROTO002",
+                    node,
+                    "hand-rolled fault-tolerance arithmetic; use "
+                    "repro.protocols.config.fault_tolerance",
+                )
+
+    def _is_quorum_core(self, node: ast.AST) -> bool:
+        """f | 2*f | n // 2 | len(...) // 2 — the X of quorum = X + 1."""
+        if _is_f_expr(node):
+            return True
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.Mult):
+                pairs = ((node.left, node.right), (node.right, node.left))
+                for lit, other in pairs:
+                    if _int_literal(lit) == 2 and _is_f_expr(other):
+                        return True
+            if isinstance(node.op, ast.FloorDiv):
+                return _int_literal(node.right) == 2 and _is_count_expr(node.left)
+        return False
+
+    # -- PROTO003: hard-coded leader index -----------------------------
+
+    def _check_leader_arithmetic(self, node: ast.BinOp) -> None:
+        if not isinstance(node.op, ast.Mod):
+            return
+        right_is_size = _is_count_expr(node.right) or (
+            isinstance(node.right, ast.Call)
+            and isinstance(node.right.func, ast.Name)
+            and node.right.func.id == "len"
+        )
+        if right_is_size and _mentions(node.left, "view"):
+            self._emit(
+                "PROTO003",
+                node,
+                "leader-index arithmetic (`view % n`) outside protocol-"
+                "owned policy; use ProtocolConfig.leader_of(view)",
+            )
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if _is_replicaish(node.value) and _int_literal(node.slice) == 0:
+            self._emit(
+                "PROTO003",
+                node,
+                "`replicas[0]` assumes replica 0 is special; resolve the "
+                "leader through ProtocolConfig.leader_of / cluster roles",
+            )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if len(node.ops) == 1 and isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            sides = (node.left, node.comparators[0])
+            for side, other in (sides, sides[::-1]):
+                name = _terminal_name(side)
+                if name is not None and "leader" in name and _int_literal(other) == 0:
+                    self._emit(
+                        "PROTO003",
+                        node,
+                        f"comparing `{name}` against literal 0 hard-codes "
+                        "the initial leader; derive it from "
+                        "ProtocolConfig.leader_of(view)",
+                    )
+                    break
+        self.generic_visit(node)
+
+    # -- PROTO004: fixed-length replica lists --------------------------
+
+    def _check_replica_list(self, targets: list, value: ast.AST) -> None:
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return
+        if len(value.elts) < 2 or not all(
+            isinstance(e, ast.Constant) for e in value.elts
+        ):
+            return
+        for target in targets:
+            if _is_replicaish(target) or _terminal_name(target) in (
+                "placement",
+                "members",
+                "peers",
+            ):
+                self._emit(
+                    "PROTO004",
+                    value,
+                    f"fixed {len(value.elts)}-element replica list literal; "
+                    "build it from range(config.n) so the topology scales",
+                )
+                return
+
+    def visit_keyword(self, node: ast.keyword) -> None:
+        # PROTO001 for call keywords: build_config(..., n=3) / f=1.
+        if node.arg in COUNT_NAMES | DERIVED_NAMES:
+            literal = _int_literal(node.value)
+            if literal is not None:
+                self._emit(
+                    "PROTO001",
+                    node.value,
+                    f"`{node.arg}={literal}` passes a literal topology "
+                    "parameter; thread it from ProtocolConfig/"
+                    "ClusterProfile",
+                )
+        if node.arg is not None and (
+            "replica" in node.arg or node.arg in ("placement", "members", "peers")
+        ):
+            self._check_replica_list([ast.Name(id=node.arg)], node.value)
+        self.generic_visit(node)
+
+    # -- PROTO005: literal-bounded fault targets -----------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _terminal_name(node.func)
+        if name in RANDOM_BOUND_FUNCS and node.args:
+            bounds = [_int_literal(arg) for arg in node.args]
+            concrete = [b for b in bounds if b is not None]
+            if concrete and max(concrete) >= 2:
+                self._emit(
+                    "PROTO005",
+                    node,
+                    f"`{name}()` draws a replica-sized value from a "
+                    "literal bound; derive the bound from "
+                    "len(cluster.replicas) (or profile.n)",
+                )
+        elif name in FAULT_TARGET_METHODS:
+            # First positional argument is the `at` timestamp.
+            for arg in node.args[1:]:
+                if _int_literal(arg) is not None:
+                    self._emit(
+                        "PROTO005",
+                        arg,
+                        f"literal replica index passed to `{name}()`; "
+                        "use role targets ('leader'/'follower') or an "
+                        "index derived from the cluster size",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+def check(context: CheckContext, tree: ast.AST) -> list[Finding]:
+    """Run the PROTO family over one parsed file."""
+    visitor = ProtoVisitor(context)
+    visitor.visit(tree)
+    return visitor.findings

@@ -105,6 +105,16 @@ _RULE_LIST = [
         "sequence seen by the simulation.",
     ),
     Rule(
+        "OBS005",
+        "OBS",
+        "observer mutates simulation state through a call chain",
+        "The interprocedural taint pass: an observer that passes a "
+        "simulation object to a helper (in any module, any number of "
+        "calls deep) which mutates it breaks the byte-identical-on/off "
+        "contract just as surely as a direct write — v1's per-function "
+        "walk could not see this.",
+    ),
+    Rule(
         "CAMP001",
         "CAMP",
         "non-JSON-safe construct in a payload builder",
@@ -129,6 +139,49 @@ _RULE_LIST = [
         "sort_keys=True.",
     ),
     Rule(
+        "PROTO001",
+        "PROTO",
+        "integer literal as replica count / fault threshold",
+        "A literal n/f/quorum outside repro.protocols.config freezes "
+        "the 3-replica topology; counts flow from the explicit knob "
+        "(ClusterProfile.n / ProtocolConfig.n) and derived quantities "
+        "from fault_tolerance()/quorum_size().",
+    ),
+    Rule(
+        "PROTO002",
+        "PROTO",
+        "hand-rolled quorum arithmetic",
+        "f+1 / 2f+1 / len(...)//2+1 spelled out inline duplicates the "
+        "quorum policy; route it through ProtocolConfig.quorum (or the "
+        "quorum_size/fault_tolerance helpers) so n-replica sweeps "
+        "change one place.",
+    ),
+    Rule(
+        "PROTO003",
+        "PROTO",
+        "hard-coded leader-index pattern",
+        "view % n arithmetic, replicas[0] and leader == 0 comparisons "
+        "outside the protocol layer each re-implement leader policy; "
+        "ProtocolConfig.leader_of(view) is the single owner, which a "
+        "leaderless baseline can override.",
+    ),
+    Rule(
+        "PROTO004",
+        "PROTO",
+        "fixed-length replica-list literal",
+        "A literal [0, 1, 2]-style replica list in cluster/experiment/"
+        "campaign configuration silently breaks at n != 3; build such "
+        "lists from range(config.n).",
+    ),
+    Rule(
+        "PROTO005",
+        "PROTO",
+        "crash/partition target bounded by a literal",
+        "Fault targets drawn from randrange(3) or passed as literal "
+        "indices stop covering the cluster the moment n grows; derive "
+        "bounds from len(cluster.replicas) or use role targets.",
+    ),
+    Rule(
         "PERF001",
         "PERF",
         "hot callable reached through an attribute chain inside a loop",
@@ -142,7 +195,7 @@ _RULE_LIST = [
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}
 
-FAMILIES = ("DET", "OBS", "CAMP", "PERF")
+FAMILIES = ("DET", "OBS", "CAMP", "PROTO", "PERF")
 
 
 def rule_ids() -> list[str]:

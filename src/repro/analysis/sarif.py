@@ -1,0 +1,136 @@
+"""SARIF 2.1.0 output for GitHub code scanning.
+
+One run, one ``detlint`` driver, one rule entry per catalog rule, one
+result per finding.  Artifact URIs are repo-relative with forward
+slashes (what ``github/codeql-action/upload-sarif`` expects from a
+checkout-rooted run).  Suppressed findings are still emitted, marked
+with a SARIF ``suppressions`` entry (``inSource`` for pragmas,
+``external`` for the committed baseline), so code scanning shows them
+as suppressed instead of resurrecting them as new alerts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.engine import LintReport
+from repro.analysis.rules import RULES, rule_ids
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+DOCS_URI = "https://github.com/anonymous/repro/blob/main/docs/ANALYSIS.md"
+
+
+def _relative_uri(path: str) -> str:
+    """Repo-relative forward-slash URI for a finding path."""
+    p = Path(path)
+    try:
+        p = p.relative_to(Path.cwd())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, Any]:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.title.title().replace(" ", "").replace("/", "").replace("-", ""),
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "helpUri": f"{DOCS_URI}#{rule.family.lower()}-family",
+        "defaultConfiguration": {"level": "error"},
+        "properties": {"family": rule.family},
+    }
+
+
+def render_sarif(report: LintReport) -> dict[str, Any]:
+    """The report as a SARIF 2.1.0 log object."""
+    catalog = rule_ids()
+    rule_index = {rule_id: position for position, rule_id in enumerate(catalog)}
+    results: list[dict[str, Any]] = []
+    for finding in report.findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _relative_uri(finding.path)},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    },
+                    "logicalLocations": [
+                        {"fullyQualifiedName": finding.module, "kind": "module"}
+                    ],
+                }
+            ],
+            "partialFingerprints": {
+                # The baseline's matching context: stable across
+                # line-number drift, changes with the flagged code.
+                "detlint/v1": f"{finding.rule}:{finding.module}:{finding.source_line}",
+            },
+        }
+        if finding.suppressed_by is not None:
+            kind = "inSource" if finding.suppressed_by == "pragma" else "external"
+            suppression: dict[str, Any] = {"kind": kind}
+            if finding.suppression_reason:
+                suppression["justification"] = finding.suppression_reason
+            result["suppressions"] = [suppression]
+        results.append(result)
+    for error in report.parse_errors:
+        results.append(
+            {
+                "ruleId": "PARSE",
+                "level": "error",
+                "message": {"text": f"parse error: {error}"},
+            }
+        )
+    tool_rules = [_rule_descriptor(rule_id) for rule_id in catalog]
+    if report.parse_errors:
+        tool_rules.append(
+            {
+                "id": "PARSE",
+                "name": "ParseError",
+                "shortDescription": {"text": "file failed to parse"},
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "detlint",
+                        "informationUri": DOCS_URI,
+                        "version": "2.0.0",
+                        "rules": tool_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: Path, report: LintReport) -> Path:
+    """Render and write the SARIF log; returns the path written."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(render_sarif(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

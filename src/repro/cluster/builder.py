@@ -173,7 +173,7 @@ class Cluster:
     def current_leader(self) -> int:
         """Leader index of the highest view among live replicas."""
         views = [replica.view for replica in self.replicas if not replica.halted]
-        return (max(views) % self.config.n) if views else -1
+        return self.config.leader_of(max(views)) if views else -1
 
     def replica_stats(self) -> list[dict[str, float]]:
         """Per-replica protocol statistics plus CPU utilisation."""

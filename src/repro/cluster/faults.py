@@ -295,7 +295,7 @@ def resolve_target(cluster, target: Union[int, str]) -> Union[int, None]:
             return None
         return target if not cluster.replicas[target].halted else None
     current_view = max(replica.view for replica in alive)
-    leader_index = current_view % len(cluster.replicas)
+    leader_index = cluster.config.leader_of(current_view)
     if target == LEADER:
         candidate = cluster.replicas[leader_index]
         return leader_index if not candidate.halted else None

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.net.latency import LatencyModel, LogNormalLatency
+from repro.protocols.config import fault_tolerance
 from repro.workload.ycsb import WORKLOAD_UPDATE_HEAVY, YcsbProfile
 
 
@@ -21,7 +22,9 @@ class ClusterProfile:
     """Environment parameters shared by all systems in a comparison."""
 
     n: int = 3
-    f: int = 1
+    # Fault threshold; derived from n in __post_init__ when not given
+    # explicitly, so ClusterProfile(n=5) scales without a second knob.
+    f: int | None = None
     # Network: datacenter-like one-way latencies.
     latency_median: float = 80e-6
     latency_sigma: float = 0.25
@@ -48,6 +51,10 @@ class ClusterProfile:
     # The paper's client-load baseline: 50 closed-loop clients is the
     # saturation point and defines client-load factor 1x (Section 7.3).
     baseline_clients: int = 50
+
+    def __post_init__(self) -> None:
+        if self.f is None:
+            self.f = fault_tolerance(self.n)
 
     def latency_model(self) -> LatencyModel:
         """Build the one-way latency model for this profile."""

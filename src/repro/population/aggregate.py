@@ -404,7 +404,7 @@ class AggregateClientNode:
     def _on_reply(self, src: Address, message: Reply) -> None:
         if self.mode in (LEADER, LBR):
             # Learn the current leader from the reply's view.
-            self._presumed_leader = message.view % self.config.n
+            self._presumed_leader = self.config.leader_of(message.view)
         op = self._active.pop(message.rid, None)
         if op is None:
             return  # late reply for an operation already finished

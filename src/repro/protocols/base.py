@@ -203,7 +203,7 @@ class BaseReplica(NetworkNode):
 
     def leader_of(self, view: int) -> int:
         """The replica index leading ``view`` (round-robin, as in the paper)."""
-        return view % self.config.n
+        return self.config.leader_of(view)
 
     def _proposer_of(self, view: int, sqn: int) -> int:
         """Which replica's proposal counts as the commit for ``sqn``.

@@ -364,7 +364,7 @@ class SingleTargetClient(BaseClient):
 
     def _on_reply(self, src: Address, message: Reply) -> None:
         # Learn the current leader from the reply's view.
-        self.presumed_leader = message.view % self.config.n
+        self.presumed_leader = self.config.leader_of(message.view)
         if message.rid != self.current_rid:
             return
         self._failover_timer.cancel()

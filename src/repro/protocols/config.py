@@ -15,6 +15,25 @@ from dataclasses import dataclass
 from repro.resilience import JITTER_MODES, RETRY_OUTCOME_MODES, RETRY_POLICY_NAMES
 
 
+def fault_tolerance(n: int) -> int:
+    """Largest crash-fault threshold an ``n``-replica group tolerates.
+
+    ``f = (n - 1) // 2`` — the single owner of this arithmetic; every
+    layer that needs an ``f`` for a given group size derives it here
+    (detlint's PROTO001 flags literal ``f`` values elsewhere).
+    """
+    return (n - 1) // 2
+
+
+def quorum_size(n: int) -> int:
+    """Majority quorum of an ``n``-replica group: ``n // 2 + 1``.
+
+    Equals ``fault_tolerance(n) + 1`` for the odd group sizes the
+    protocols run with (``n = 2f + 1``).
+    """
+    return n // 2 + 1
+
+
 @dataclass
 class ProtocolConfig:
     """Parameters common to IDEM, Paxos, Paxos_LBR and BFT-SMaRt.
@@ -161,3 +180,14 @@ class ProtocolConfig:
     def quorum(self) -> int:
         """Commit/require quorum size: f + 1."""
         return self.f + 1
+
+    def leader_of(self, view: int) -> int:
+        """Replica index leading ``view`` (round-robin, as in the paper).
+
+        The protocol-owned leader policy: everything outside the
+        protocol layer (cluster composition, fault targeting, client
+        failover, the aggregate population backend) resolves leaders
+        through here, so a different rotation — or a leaderless
+        protocol — changes one place (detlint PROTO003 enforces this).
+        """
+        return view % self.n

@@ -203,6 +203,63 @@ FIXTURES = {
             return json.dumps(value, sort_keys=True)
         """,
     ),
+    "PROTO001": (
+        "repro.cluster.profile",
+        """\
+        def make():
+            f = 1
+        """,
+        """\
+        from repro.protocols.config import fault_tolerance
+        def make(n):
+            return fault_tolerance(n)
+        """,
+    ),
+    "PROTO002": (
+        "repro.cluster.builder",
+        """\
+        def quorum(config):
+            return config.f + 1
+        """,
+        """\
+        def quorum(config):
+            return config.quorum
+        """,
+    ),
+    "PROTO003": (
+        "repro.cluster.faults",
+        """\
+        def leader(view, config):
+            return view % config.n
+        """,
+        """\
+        def leader(view, config):
+            return config.leader_of(view)
+        """,
+    ),
+    "PROTO004": (
+        "repro.experiments.common",
+        """\
+        def placement():
+            replicas = [0, 1, 2]
+        """,
+        """\
+        def placement(config):
+            replicas = list(range(config.n))
+            return replicas
+        """,
+    ),
+    "PROTO005": (
+        "repro.cluster.chaos",
+        """\
+        def pick(rng):
+            return rng.randrange(3)
+        """,
+        """\
+        def pick(rng, cluster):
+            return rng.randrange(len(cluster.replicas))
+        """,
+    ),
     "PERF001": (
         "repro.net.network",
         """\
@@ -296,6 +353,19 @@ def test_scopes_follow_the_architecture():
     assert rule_applies("PERF001", "repro.net.network")
     assert not rule_applies("PERF001", "repro.campaign.engine")
     assert not rule_applies("PERF001", "repro.protocols.paxos")
+    # PROTO guards topology consumers, never the protocol config itself.
+    assert rule_applies("PROTO001", "repro.cluster.builder")
+    assert rule_applies("PROTO003", "repro.experiments.common")
+    assert not rule_applies("PROTO001", "repro.protocols.config")
+    assert not rule_applies("PROTO003", "repro.protocols.paxos")
+    # ...except PROTO002: quorum arithmetic is banned inside the
+    # protocols too, everywhere but the one module that owns it.
+    assert rule_applies("PROTO002", "repro.protocols.paxos")
+    assert not rule_applies("PROTO002", "repro.protocols.config")
+    # The standalone tools and the workload generators are linted too.
+    assert rule_applies("DET005", "tools.overhead_guard")
+    assert rule_applies("DET005", "repro.workload.ycsb")
+    assert rule_applies("PROTO005", "tools.overhead_guard")
 
 
 def test_rules_for_module_covers_every_family():
@@ -513,9 +583,16 @@ def repo_paths():
     return package, baseline
 
 
+def repo_lint_targets():
+    """Everything CI lints: the package plus the standalone tools."""
+    package, baseline = repo_paths()
+    overhead_guard = package.parent.parent / "tools" / "overhead_guard.py"
+    return [package, overhead_guard], baseline
+
+
 def test_the_tree_is_clean_under_the_committed_baseline():
-    package, baseline_path = repo_paths()
-    report = lint_paths([package], baseline=load_baseline(baseline_path))
+    targets, baseline_path = repo_lint_targets()
+    report = lint_paths(targets, baseline=load_baseline(baseline_path))
     assert report.parse_errors == []
     offenders = [f"{f.location()} {f.rule}" for f in report.active]
     assert offenders == []
@@ -524,8 +601,10 @@ def test_the_tree_is_clean_under_the_committed_baseline():
 
 
 def test_cli_check_passes_on_the_tree():
-    package, baseline_path = repo_paths()
-    assert main(["--check", "--baseline", str(baseline_path), str(package)]) == 0
+    targets, baseline_path = repo_lint_targets()
+    argv = ["--check", "--baseline", str(baseline_path)]
+    argv += [str(t) for t in targets]
+    assert main(argv) == 0
 
 
 def test_cli_check_fails_on_a_dirty_file(tmp_path):

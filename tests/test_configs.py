@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import IdemConfig
-from repro.protocols.config import ProtocolConfig
+from repro.protocols.config import ProtocolConfig, fault_tolerance, quorum_size
 from repro.protocols.paxos.config import PaxosConfig
 
 
@@ -12,6 +12,17 @@ class TestProtocolConfig:
         config = ProtocolConfig()
         assert config.n == 2 * config.f + 1
         assert config.quorum == config.f + 1
+
+    def test_leader_rotates_through_the_group(self):
+        config = ProtocolConfig(n=5, f=2)
+        assert [config.leader_of(view) for view in range(6)] == [0, 1, 2, 3, 4, 0]
+
+    def test_topology_helpers_agree_with_the_invariants(self):
+        for n in (1, 3, 5, 7, 9):
+            f = fault_tolerance(n)
+            assert n == 2 * f + 1
+            config = ProtocolConfig(n=n, f=f)
+            assert quorum_size(n) == config.quorum == f + 1
 
     def test_rejects_wrong_group_size(self):
         with pytest.raises(ValueError):
