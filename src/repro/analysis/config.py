@@ -103,7 +103,12 @@ RULE_SCOPES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "PROTO005": (TOPOLOGY_SCOPE, ()),
     # Hot-path hygiene: only where the dispatch/send loops live.  The
     # rest of the tree is free to prefer clarity over loop-hoisting.
-    "PERF001": (("repro.sim", "repro.net"), ()),
+    # repro.campaign.shard merges per-shard sample streams in tight
+    # loops, so it opts into the hot-callable rule too.
+    "PERF001": (("repro.sim", "repro.net", "repro.campaign.shard"), ()),
+    # Allocation-free dispatch is a repro.sim-only contract (the array
+    # core's free-list pool); elsewhere a constructor in a loop is fine.
+    "PERF002": (("repro.sim",), ()),
 }
 
 #: Attributes the observability layer is allowed to assign on simulation

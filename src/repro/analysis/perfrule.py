@@ -12,8 +12,16 @@ before the loop, which also reads as a declaration of what the loop is
 hot on.  One-hop calls (``local.method(...)``, ``self.method(...)``)
 are the *result* of that fix and are not flagged.
 
-Like every detlint rule this is a lint heuristic, not a profiler: a
-cold loop that trips it can carry a pragma or a baseline entry.
+PERF002 guards the allocation-free-dispatch contract the array-backed
+core (``repro.sim.arraycore``) establishes: inside the loop body of a
+dispatch-shaped function (``run``, ``run_*``, or anything with
+``dispatch`` in its name) a capitalized-callable constructor call
+allocates one object per event — exactly the cost the free-list event
+pool removes.  Exception constructors (``...Error``/``...Exception``
+names) are raise-path code, not per-iteration cost, and are skipped.
+
+Like every detlint rule these are lint heuristics, not a profiler: a
+cold loop that trips one can carry a pragma or a baseline entry.
 """
 
 from __future__ import annotations
@@ -44,6 +52,31 @@ HOT_CALLABLES = frozenset(
 HEAPQ_FUNCTIONS = frozenset({"heapq.heappush", "heapq.heappop", "heapq.heapify"})
 
 
+def _is_dispatch_name(name: str) -> bool:
+    """Whether a function name marks an event-dispatch loop (PERF002)."""
+    return name == "run" or name.startswith("run_") or "dispatch" in name
+
+
+def _constructor_name(func: ast.AST) -> str | None:
+    """The capitalized callable name of a constructor-looking call.
+
+    Returns None for lowercase callables, exception-looking names
+    (raise-path allocations fire at most once per loop lifetime) and
+    anything not reached as a plain name or attribute.
+    """
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return None
+    if not name[:1].isupper():
+        return None
+    if name.endswith("Error") or name.endswith("Exception"):
+        return None
+    return name
+
+
 def _attribute_hops(node: ast.AST) -> int:
     """Number of attribute lookups in a ``Name.attr1.attr2...`` chain.
 
@@ -65,6 +98,9 @@ class _PerfVisitor(ast.NodeVisitor):
         # Loop depth per enclosing function: a def inside a loop body
         # does not execute per iteration, so it opens a fresh scope.
         self._loop_depth_stack = [0]
+        # Enclosing function names, innermost last; PERF002 only fires
+        # inside dispatch-shaped functions.
+        self._function_stack: list[str] = []
 
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
         if rule in self.ctx.active_rules:
@@ -80,7 +116,9 @@ class _PerfVisitor(ast.NodeVisitor):
 
     def _visit_function(self, node: ast.AST) -> None:
         self._loop_depth_stack.append(0)
+        self._function_stack.append(getattr(node, "name", "<lambda>"))
         self.generic_visit(node)
+        self._function_stack.pop()
         self._loop_depth_stack.pop()
 
     visit_FunctionDef = _visit_function
@@ -90,7 +128,22 @@ class _PerfVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         if self._loop_depth_stack[-1] > 0:
             self._check_hot_call(node)
+            if self._function_stack and _is_dispatch_name(self._function_stack[-1]):
+                self._check_allocation(node)
         self.generic_visit(node)
+
+    def _check_allocation(self, node: ast.Call) -> None:
+        name = _constructor_name(node.func)
+        if name is None:
+            return
+        self._emit(
+            "PERF002",
+            node,
+            f"{name}() constructed inside the loop body of dispatch function "
+            f"{self._function_stack[-1]}(): one allocation per event; "
+            f"preallocate, pool (see repro.sim.arraycore) or carry plain "
+            f"tuples instead",
+        )
 
     def _check_hot_call(self, node: ast.Call) -> None:
         func = node.func

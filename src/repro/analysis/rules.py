@@ -191,6 +191,17 @@ _RULE_LIST = [
         "iteration costs measurable wall time — bind it to a local "
         "before the loop.",
     ),
+    Rule(
+        "PERF002",
+        "PERF",
+        "per-event object construction inside a dispatch loop",
+        "The event-dispatch loops are the hottest code in the tree, and "
+        "the array-backed core exists precisely to eliminate per-event "
+        "allocation there; a constructor call per loop iteration inside "
+        "run()/run_until()/dispatch-style functions reintroduces it — "
+        "preallocate, pool, or carry plain tuples instead "
+        "(see repro.sim.arraycore's free-list event pool).",
+    ),
 ]
 
 RULES: dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}

@@ -1,0 +1,299 @@
+"""Sharded campaign execution: slice one big run into cohort jobs.
+
+A simulated deployment with ``C`` closed-loop clients against one
+replica group can equivalently be modelled as ``K`` *independent*
+cohorts — ``K`` full clusters, each serving ``C/K`` clients with its
+own seeded randomness — whose measurements are then pooled.  That is
+exactly how the paper's large population experiments scale out in
+practice (sharded deployments), and it is what lets a single oversized
+campaign job use the whole process pool instead of serialising on one
+core.
+
+This module implements that slicing for :data:`~repro.campaign.plan.KIND_SIM`
+jobs:
+
+* :func:`shard_payloads` derives ``K`` cohort payloads from one sim
+  payload — clients split evenly (remainder to the earliest cohorts),
+  seeds offset by :data:`SHARD_SEED_STRIDE`, open-loop arrival rates
+  scaled to the cohort's client share, ``keep_metrics`` forced on (the
+  merge needs raw samples), plus a ``"shard"`` descriptor so the job
+  key is shard-aware.
+* :func:`merge_shard_results` pools cohort results back into one
+  :class:`~repro.cluster.metrics.ExperimentResult` **exactly**: latency
+  summaries are recomputed from the concatenated raw samples (not
+  approximated from per-shard summaries), rates and counters sum,
+  ``peak_heap`` takes the max.  The reducer consumes shard results in
+  cohort order, so its output is a pure function of the shard plan —
+  independent of worker count, completion order, or scheduling.
+
+**The determinism contract**: a sharded run executed on any number of
+workers is byte-identical to the same shard plan executed serially.
+It is *not* numerically identical to the unsharded run — ``K``
+independent cohorts are a different (equally valid) deployment model
+than one monolithic cluster, which is why the shard count is part of
+the job payload and hence the cache key.
+
+Runs that are inherently cluster-global stay unsharded:
+fault schedules and load schedules act on one shared cluster/population,
+safety checking and probe recording attach to one cluster, and a run
+that asked to keep its metrics collector (timeline plots) needs the
+single-cluster collector.  :func:`shardable_reason` encodes those
+guards; :func:`shard_campaign_jobs` leaves such jobs untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.campaign.plan import KIND_SHARD, KIND_SIM, Job
+from repro.cluster.metrics import ExperimentResult
+from repro.sim.monitor import SummaryStats
+
+#: Seed offset between cohorts (a prime, so shard seeds never collide
+#: with the ``seed0 + run_index`` lattice the experiment planners use).
+#: Cohort ``i`` runs with ``base_seed + SHARD_SEED_STRIDE * (i + 1)`` —
+#: shard 0 deliberately does *not* reuse the base seed, so no cohort is
+#: correlated with the unsharded run it replaces.
+SHARD_SEED_STRIDE = 7919
+
+
+def shardable_reason(payload: dict[str, Any]) -> Optional[str]:
+    """Why this sim payload cannot be sharded; ``None`` when it can.
+
+    The guards are intrinsic to the payload — the caller separately
+    checks that there are at least as many clients as shards.
+    """
+    if payload.get("faults") is not None:
+        return "fault schedules act on one shared cluster"
+    if payload.get("schedule") is not None:
+        return "load schedules modulate one shared client population"
+    if payload.get("safety"):
+        return "safety checking attaches to one cluster"
+    if payload.get("probes"):
+        return "probe recording attaches to one cluster"
+    if payload.get("keep_metrics"):
+        return "the run needs its single-cluster metrics collector"
+    return None
+
+
+def _split_clients(clients: int, shards: int) -> list[int]:
+    """Even client split; the remainder goes to the earliest cohorts."""
+    base, remainder = divmod(clients, shards)
+    return [base + (1 if index < remainder else 0) for index in range(shards)]
+
+
+def shard_payloads(payload: dict[str, Any], shards: int) -> list[dict[str, Any]]:
+    """Derive the ``shards`` cohort payloads of one sim payload.
+
+    Raises :class:`ValueError` when the payload is unshardable or has
+    fewer clients than cohorts; callers that want to degrade gracefully
+    check :func:`shardable_reason` first.
+    """
+    if shards < 2:
+        raise ValueError(f"sharding needs at least 2 cohorts, got {shards}")
+    reason = shardable_reason(payload)
+    if reason is not None:
+        raise ValueError(f"payload is not shardable: {reason}")
+    clients = payload["clients"]
+    if clients < shards:
+        raise ValueError(
+            f"cannot split {clients} clients into {shards} cohorts"
+        )
+    cohort_sizes = _split_clients(clients, shards)
+    result = []
+    for index, cohort_clients in enumerate(cohort_sizes):
+        derived = dict(payload)
+        derived["clients"] = cohort_clients
+        derived["seed"] = payload["seed"] + SHARD_SEED_STRIDE * (index + 1)
+        # The merge recomputes summaries from raw samples, so every
+        # cohort must ship its collector back.
+        derived["keep_metrics"] = True
+        if payload.get("arrivals") is not None:
+            # Open-loop rates describe the whole population; each
+            # cohort receives its proportional share.
+            share = cohort_clients / clients
+            derived["arrivals"] = {
+                "steps": [
+                    [time, rate * share]
+                    for time, rate in payload["arrivals"]["steps"]
+                ]
+            }
+        derived["shard"] = {"index": index, "of": shards}
+        result.append(derived)
+    return result
+
+
+def shard_job(base: Job, shard_payload: dict[str, Any]) -> Job:
+    """Wrap one cohort payload into a campaign job."""
+    shard = shard_payload["shard"]
+    return Job(
+        experiment_id=base.experiment_id,
+        kind=KIND_SHARD,
+        payload=shard_payload,
+        label=f"{base.label}#shard{shard['index']}of{shard['of']}",
+    )
+
+
+def shard_campaign_jobs(
+    jobs: list[Job], shards: int
+) -> tuple[list[Job], dict[str, tuple[Job, list[str]]]]:
+    """Slice every shardable sim job of a campaign into cohort jobs.
+
+    Returns the transformed job list (unshardable jobs pass through
+    untouched, in place) and the merge groups: ``base job key ->
+    (base job, [cohort job keys in shard order])``.  After execution,
+    :func:`merge_shard_groups` uses the groups to synthesise the base
+    jobs' results, so everything downstream (aggregation, baselines,
+    reports) resolves results exactly as in an unsharded campaign.
+    """
+    if shards < 2:
+        return list(jobs), {}
+    transformed: list[Job] = []
+    groups: dict[str, tuple[Job, list[str]]] = {}
+    for job in jobs:
+        if (
+            job.kind != KIND_SIM
+            or shardable_reason(job.payload) is not None
+            or job.payload["clients"] < shards
+        ):
+            transformed.append(job)
+            continue
+        base_key = job.key
+        cohort_jobs = [
+            shard_job(job, payload)
+            for payload in shard_payloads(job.payload, shards)
+        ]
+        transformed.extend(cohort_jobs)
+        # Duplicate base jobs (specs shared between experiments) map to
+        # the same group; the executor dedups the cohort jobs by key.
+        groups[base_key] = (job, [cohort.key for cohort in cohort_jobs])
+    return transformed, groups
+
+
+def _merged_client_stats(results: list[ExperimentResult]) -> Optional[dict]:
+    if all(result.client_stats is None for result in results):
+        return None
+    totals: dict[str, float] = {}
+    for result in results:
+        for key, value in (result.client_stats or {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            totals[key] = totals.get(key, 0) + value
+    # Ratios do not sum; recompute from the pooled counters.
+    if "sends" in totals:
+        totals["load_amplification"] = (
+            totals["sends"] / totals["commands"] if totals.get("commands") else 1.0
+        )
+    return totals
+
+
+def merge_shard_results(
+    payload: dict[str, Any], results: list[ExperimentResult]
+) -> ExperimentResult:
+    """Pool cohort results (in shard order) into one exact result.
+
+    ``payload`` is the *base* (unsharded) sim payload; it supplies the
+    identity fields.  Latency summaries come from the concatenated raw
+    cohort samples — bit-for-bit what ``SummaryStats.of`` would report
+    had one collector recorded every cohort's operations — so the merge
+    is exact, not a summary-of-summaries approximation.
+    """
+    if not results:
+        raise ValueError("cannot merge zero shard results")
+    for index, result in enumerate(results):
+        if result.metrics is None:
+            raise ValueError(
+                f"shard {index} result carries no metrics collector; "
+                "shard payloads must force keep_metrics on"
+            )
+    reply_samples: list[float] = []
+    reject_samples: list[float] = []
+    traffic: dict[str, int] = {}
+    replica_stats: list[dict] = []
+    throughput = 0.0
+    reject_throughput = 0.0
+    timeouts = 0
+    dispatched = 0
+    drained = 0
+    peak_heap = 0
+    for result in results:
+        reply_samples.extend(result.metrics.reply_latency.samples)
+        reject_samples.extend(result.metrics.reject_latency.samples)
+        throughput += result.throughput
+        reject_throughput += result.reject_throughput
+        timeouts += result.timeouts
+        for key, value in result.traffic.items():
+            traffic[key] = traffic.get(key, 0) + value
+        replica_stats.extend(result.replica_stats)
+        stats = result.sim_stats or {}
+        dispatched += stats.get("dispatched_events", 0)
+        drained += stats.get("drained_tombstones", 0)
+        peak_heap = max(peak_heap, stats.get("peak_heap", 0))
+    return ExperimentResult(
+        system=payload["system"],
+        clients=payload["clients"],
+        seed=payload["seed"],
+        duration=payload["duration"],
+        warmup=payload["warmup"],
+        throughput=throughput,
+        latency=SummaryStats.of(reply_samples),
+        reject_throughput=reject_throughput,
+        reject_latency=SummaryStats.of(reject_samples),
+        timeouts=timeouts,
+        traffic=traffic,
+        replica_stats=replica_stats,
+        metrics=None,
+        safety_violations=None,
+        obs=None,
+        findings=None,
+        sim_stats={
+            "dispatched_events": dispatched,
+            "peak_heap": peak_heap,
+            "drained_tombstones": drained,
+            "shards": len(results),
+        },
+        client_stats=_merged_client_stats(results),
+    )
+
+
+def merge_shard_groups(
+    results: dict[str, Any], groups: dict[str, tuple[Job, list[str]]]
+) -> None:
+    """Synthesise every base job's result from its cohorts, in place.
+
+    ``results`` maps job key -> result (as produced by
+    ``execute_jobs``); after this call it additionally maps each base
+    key to the merged result, so result resolution downstream is
+    oblivious to sharding.  Cohort results stay in the mapping (their
+    cache entries are what makes warm reruns cheap).
+    """
+    for base_key, (base_job, cohort_keys) in groups.items():
+        cohort_results = [results[key] for key in cohort_keys]
+        results[base_key] = merge_shard_results(base_job.payload, cohort_results)
+
+
+def run_sharded(
+    base_payload: dict[str, Any], shards: int
+) -> ExperimentResult:
+    """Execute one sim payload's shard plan serially and merge it.
+
+    The serial reference path: tests and the CI campaign-smoke compare
+    pool execution against this, byte for byte.
+    """
+    from repro.campaign.pool import execute_payload
+
+    payloads = shard_payloads(base_payload, shards)
+    results = [execute_payload(KIND_SHARD, payload) for payload in payloads]
+    return merge_shard_results(base_payload, results)
+
+
+__all__ = [
+    "SHARD_SEED_STRIDE",
+    "merge_shard_groups",
+    "merge_shard_results",
+    "run_sharded",
+    "shard_campaign_jobs",
+    "shard_job",
+    "shard_payloads",
+    "shardable_reason",
+]

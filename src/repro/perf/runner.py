@@ -25,18 +25,22 @@ from typing import Any, Optional
 import repro
 from repro.perf.scenarios import (
     PerfResult,
+    arraycore_churn,
     event_churn,
     fig2_slice,
     net_multicast,
+    sharded_fig2,
     timer_restart_storm,
 )
 
 #: Scenario name -> callable(scale) in canonical (report) order.
 SCENARIOS = {
     "event_churn": event_churn,
+    "arraycore_churn": arraycore_churn,
     "timer_restart_storm": timer_restart_storm,
     "net_multicast": net_multicast,
     "fig2_slice": fig2_slice,
+    "sharded_fig2": sharded_fig2,
 }
 
 DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
@@ -107,18 +111,31 @@ def write_perf_baseline(
     scale: float,
     notes: Optional[dict[str, Any]] = None,
 ) -> Path:
-    """Write/refresh the committed simulator perf baseline."""
+    """Write/refresh the committed simulator perf baseline.
+
+    A re-bless only replaces the measurements: the previous baseline's
+    ``notes`` (the human record of *why* the numbers are what they are)
+    and its ``tolerance`` block (including per-metric overrides for
+    noisier scenarios) carry forward unless explicitly overridden.
+    """
     metrics: dict[str, float] = {}
     for result in results:
         metrics[f"{result.scenario}.events_per_sec"] = result.events_per_sec
         metrics[f"{result.scenario}.dispatched_events"] = result.dispatched_events
+    previous = load_perf_baseline(directory) or {}
+    tolerance = dict(
+        previous.get("tolerance") or {"relative": DEFAULT_RELATIVE_TOLERANCE}
+    )
+    tolerance.setdefault("relative", DEFAULT_RELATIVE_TOLERANCE)
     document = {
         "bench": "simulator",
         "version": repro.__version__,
         "settings": {"scale": scale},
-        "tolerance": {"relative": DEFAULT_RELATIVE_TOLERANCE},
+        "tolerance": tolerance,
         "metrics": metrics,
     }
+    if notes is None:
+        notes = previous.get("notes")
     if notes:
         document["notes"] = notes
     path = baseline_path(directory)
@@ -215,12 +232,20 @@ def check_perf_baseline(
             )
         )
         return report
-    relative = float(
-        document.get("tolerance", {}).get("relative", DEFAULT_RELATIVE_TOLERANCE)
-    )
+    tolerance = document.get("tolerance", {})
+    relative = float(tolerance.get("relative", DEFAULT_RELATIVE_TOLERANCE))
+    # Per-metric overrides widen the band for intrinsically noisier
+    # scenarios (pool startup in sharded_fig2 swings with machine load).
+    per_metric = tolerance.get("per_metric", {})
     metrics = document.get("metrics", {})
     for result in results:
-        _check_rate(report, metrics, result, relative)
+        rate_metric = f"{result.scenario}.events_per_sec"
+        _check_rate(
+            report,
+            metrics,
+            result,
+            float(per_metric.get(rate_metric, relative)),
+        )
         _check_count(report, metrics, result)
     return report
 

@@ -1,0 +1,403 @@
+"""Array-backed event core: the opt-in ``EventLoop`` replacement.
+
+:class:`ArrayEventLoop` schedules and dispatches **exactly** the same
+callbacks in **exactly** the same order as the tuple-heap
+:class:`~repro.sim.loop.EventLoop` — the equivalence suite renders
+fig2/fig6/figR byte-identically with either core — but it never
+allocates a per-event ``Event`` object:
+
+* **Fire-and-forget fast path.**  ``call_after`` is the hot scheduling
+  entry point (every network delivery and service completion lands
+  there) and *nothing in the tree keeps its return value*, so the
+  callback rides directly in the heap entry as a ``(time, seq,
+  callback, args)`` 4-tuple.  No event object, no cancellation
+  bookkeeping — scheduling is one tuple and one sift.
+* **Slot lanes for cancellable events.**  ``call_at`` must return a
+  cancellable handle (the lazy-deadline timers depend on it), so each
+  of those events additionally owns a *slot* drawn from a free-list
+  pool.  The slot indexes preallocated parallel lanes — fire time and
+  issue sequence as plain lists (pointer stores; typed ``array``
+  lanes measurably lose here because every read boxes a fresh int —
+  see docs/SIMULATOR.md), plus a ``bytearray`` of tombstone flags —
+  and the heap entry becomes a
+  ``(time, seq, callback, args, slot)`` 5-tuple.  The returned handle
+  is a pooled per-slot :class:`ArrayEvent`, revalidated by one integer
+  store on every reuse; cancelling sets one tombstone byte.  Steady-
+  state ``call_at`` scheduling therefore allocates no per-event
+  objects either — the lanes, the free list and the handle pool are
+  all reused, growing only when more events are simultaneously
+  pending than ever before.
+
+Mixed-arity heap entries are safe: the sequence number is globally
+unique, so tuple comparison always terminates at element 1 and never
+compares a callback against another callback.
+
+Differences from the tuple core's *handle* semantics (dispatch order
+and all counters are identical):
+
+* ``call_after`` returns ``None`` — cancel-by-handle is a ``call_at``
+  feature.  (On the tuple core nothing uses those handles either; here
+  the contract is explicit.)
+* A pooled handle is only meaningful while its event is pending.  Once
+  the event fires or is drained, the handle goes *stale* — it reports
+  ``cancelled == True`` ("can no longer be cancelled") and ``time ==
+  nan`` where a fired tuple-core ``Event`` keeps reading ``False`` —
+  and once its slot is reissued by a later ``call_at``, the *same
+  object* is revalidated for the new event, so a retained old
+  reference aliases that new event.  The only in-tree handle consumer
+  (``repro.sim.timers``) drops or replaces its reference inside
+  ``_fire`` before any reuse can occur, so neither divergence is
+  observable in-tree; both are pinned by the unit tests as the
+  documented behaviour.  Holding a handle past its event's lifetime
+  and acting on it later is outside the contract.
+
+See ``docs/SIMULATOR.md`` (Array-backed core) for the layout and
+guidance on when to enable it (``RunSpec.core`` / ``--sim-core`` /
+``REPRO_SIM_CORE``).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable
+
+from repro.sim import loop as loop_module
+from repro.sim.errors import SchedulingError, StoppedError
+
+#: Initial number of preallocated cancellable-event slots; lanes double
+#: when the free list runs dry, so this only sets the smallest footprint.
+INITIAL_SLOTS = 256
+
+#: Lane value marking a slot as unissued (no live handle validates
+#: against it; real sequence numbers start at 0).
+_FREE_SEQ = -1
+
+
+class ArrayEvent:
+    """A pooled, reusable handle to one cancellable scheduled callback.
+
+    One instance exists per lane slot for the lifetime of the loop; it
+    is (re)issued by ``call_at`` by stamping the event's sequence
+    number into it.  While its event is pending the handle behaves
+    like a tuple-core ``Event``; once the event fires or is drained it
+    goes stale (``cancelled == True`` / ``time == nan`` / ``cancel()``
+    is a no-op), and a later ``call_at`` that reuses the slot
+    revalidates this same object for the new event.  Use it during its
+    event's lifetime only — see the module docstring.
+    """
+
+    __slots__ = ("_loop", "_slot", "_seq")
+
+    def __init__(self, loop: "ArrayEventLoop", slot: int):
+        self._loop = loop
+        self._slot = slot
+        self._seq = _FREE_SEQ
+
+    @property
+    def seq(self) -> int:
+        """Sequence number this handle was issued with."""
+        return self._seq
+
+    @property
+    def time(self) -> float:
+        """Scheduled fire time, or ``nan`` once the handle is stale."""
+        loop = self._loop
+        slot = self._slot
+        if loop._seqs[slot] != self._seq:
+            return math.nan
+        return loop._times[slot]
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event will not fire anymore.
+
+        ``True`` both for an explicitly cancelled pending event and for
+        a stale handle (already fired, drained or slot recycled) — in
+        every case, cancelling through this handle can no longer have
+        an effect.
+        """
+        loop = self._loop
+        slot = self._slot
+        if loop._seqs[slot] != self._seq:
+            return True
+        return bool(loop._dead[slot])
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; no-op when stale."""
+        loop = self._loop
+        slot = self._slot
+        if loop._seqs[slot] == self._seq and not loop._dead[slot]:
+            loop._dead[slot] = 1
+            loop._note_cancelled()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._loop._seqs[self._slot] != self._seq:
+            return f"ArrayEvent(slot={self._slot}, stale)"
+        state = "cancelled" if self._loop._dead[self._slot] else "pending"
+        return (
+            f"ArrayEvent(t={self._loop._times[self._slot]:.6f}, "
+            f"seq={self._seq}, slot={self._slot}, {state})"
+        )
+
+
+class ArrayEventLoop:
+    """Drop-in :class:`~repro.sim.loop.EventLoop` with array-lane storage.
+
+    The public surface (``now``/counters/``call_at``/``call_after``/
+    ``run_until``/``run``/``stop``/``resume``/``drain_cancelled``) and
+    every observable counter match the tuple core exactly; see the
+    module docstring for the two documented handle-semantics
+    differences.
+    """
+
+    def __init__(self, start_time: float = 0.0, auto_drain: bool | None = None):
+        self._now = start_time
+        # Mixed 4-/5-tuple entries; seq (element 1) is globally unique,
+        # so comparisons never reach element 2.
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._stopped = False
+        self._dispatched = 0
+        self._cancelled_pending = 0
+        self._drained = 0
+        self._peak_heap = 0
+        #: Same knob (and module default) as the tuple core; purely a
+        #: space/speed dial — dispatch order is unaffected either way.
+        self.auto_drain = (
+            loop_module.AUTO_DRAIN_DEFAULT if auto_drain is None else auto_drain
+        )
+        # Parallel lanes for cancellable (call_at) events, indexed by
+        # slot.  Times/seqs are plain lists: lane traffic is pointer
+        # stores of objects already in hand, where typed arrays would
+        # box a fresh int on every read.  The tombstone flags stay a
+        # bytearray (reads yield cached small ints; 1 byte per slot).
+        self._times = [0.0] * INITIAL_SLOTS
+        self._seqs = [_FREE_SEQ] * INITIAL_SLOTS
+        self._dead = bytearray(INITIAL_SLOTS)
+        self._free = list(range(INITIAL_SLOTS - 1, -1, -1))
+        self._handles = [ArrayEvent(self, slot) for slot in range(INITIAL_SLOTS)]
+
+    # -- identical read-only surface ---------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def dispatched_events(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._dispatched
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled tombstones currently sitting in the heap."""
+        return self._cancelled_pending
+
+    @property
+    def drained_tombstones(self) -> int:
+        """Total tombstones removed by (auto or explicit) drains."""
+        return self._drained
+
+    @property
+    def peak_heap(self) -> int:
+        """Largest heap size observed so far (capacity planning metric)."""
+        return self._peak_heap
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` was called (and not yet :meth:`resume`\\ d)."""
+        return self._stopped
+
+    @property
+    def allocated_slots(self) -> int:
+        """Current lane capacity (free + in-use cancellable slots)."""
+        return len(self._seqs)
+
+    # -- scheduling ---------------------------------------------------
+
+    def call_at(
+        self, when: float, callback: Callable[..., Any], *args: Any
+    ) -> ArrayEvent:
+        """Schedule ``callback(*args)`` at absolute time ``when``.
+
+        Returns the slot's pooled :class:`ArrayEvent` handle, revalidated
+        for this event — cancellable until it fires.
+        """
+        if self._stopped:
+            raise StoppedError("cannot schedule events on a stopped loop")
+        if when < self._now:
+            raise SchedulingError(
+                f"cannot schedule event in the past: {when:.6f} < now {self._now:.6f}"
+            )
+        free = self._free
+        if not free:
+            self._grow()
+        slot = free.pop()
+        seq = self._seq
+        self._seq = seq + 1
+        self._times[slot] = when
+        self._seqs[slot] = seq
+        heap = self._heap
+        heappush(heap, (when, seq, callback, args, slot))
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+        handle = self._handles[slot]
+        handle._seq = seq
+        return handle
+
+    def call_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` seconds.
+
+        The fire-and-forget fast path: the callback rides in the heap
+        entry itself and **no handle is returned** — use
+        :meth:`call_at` for an event that must be cancellable.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        if self._stopped:
+            raise StoppedError("cannot schedule events on a stopped loop")
+        seq = self._seq
+        self._seq = seq + 1
+        heap = self._heap
+        heappush(heap, (self._now + delay, seq, callback, args))
+        if len(heap) > self._peak_heap:
+            self._peak_heap = len(heap)
+
+    def _grow(self) -> None:
+        """Double the lane capacity (free list was empty)."""
+        old = len(self._seqs)
+        new = old * 2
+        self._times.extend([0.0] * old)
+        self._seqs.extend([_FREE_SEQ] * old)
+        self._dead.extend(bytes(old))
+        self._free.extend(range(new - 1, old - 1, -1))
+        self._handles.extend(ArrayEvent(self, slot) for slot in range(old, new))
+
+    # -- running ------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop the loop; :meth:`run_until` returns at the next dispatch point."""
+        self._stopped = True
+
+    def resume(self) -> None:
+        """Re-arm a stopped loop.  The clock stays where dispatch halted."""
+        self._stopped = False
+
+    def run_until(self, horizon: float) -> None:
+        """Dispatch events in order until the clock would pass ``horizon``.
+
+        Same contract as the tuple core: the clock reads exactly
+        ``horizon`` on return unless a :meth:`stop` halted dispatch at
+        an event boundary, and a stopped loop raises
+        :class:`StoppedError` instead of running.
+        """
+        if self._stopped:
+            raise StoppedError(
+                "cannot run a stopped loop; call resume() to continue dispatch"
+            )
+        heap = self._heap
+        pop = heappop
+        seqs = self._seqs
+        dead = self._dead
+        free_slot = self._free.append
+        while heap and not self._stopped:
+            entry = heap[0]
+            when = entry[0]
+            if when > horizon:
+                break
+            pop(heap)
+            if len(entry) == 5:
+                # Cancellable event: retire its slot (stamping the seq
+                # lane stales the pooled handle) *before* the callback,
+                # so a rescheduling callback (Timer._fire) can reuse it.
+                slot = entry[4]
+                seqs[slot] = _FREE_SEQ
+                free_slot(slot)
+                if dead[slot]:
+                    dead[slot] = 0
+                    self._cancelled_pending -= 1
+                    continue
+            self._now = when
+            self._dispatched += 1
+            entry[2](*entry[3])
+        if not self._stopped and self._now < horizon:
+            self._now = horizon
+
+    def run(self) -> None:
+        """Dispatch events until the heap is exhausted or the loop stops."""
+        if self._stopped:
+            raise StoppedError(
+                "cannot run a stopped loop; call resume() to continue dispatch"
+            )
+        heap = self._heap
+        pop = heappop
+        seqs = self._seqs
+        dead = self._dead
+        free_slot = self._free.append
+        while heap and not self._stopped:
+            entry = pop(heap)
+            if len(entry) == 5:
+                slot = entry[4]
+                seqs[slot] = _FREE_SEQ
+                free_slot(slot)
+                if dead[slot]:
+                    dead[slot] = 0
+                    self._cancelled_pending -= 1
+                    continue
+            self._now = entry[0]
+            self._dispatched += 1
+            entry[2](*entry[3])
+
+    # -- tombstones ---------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """One more tombstone; compact the heap when they dominate it.
+
+        Reads the thresholds off :mod:`repro.sim.loop` dynamically so
+        the equivalence tests' monkeypatching covers both cores — the
+        drain *sequence* must be identical for identical cancel
+        traffic.
+        """
+        count = self._cancelled_pending + 1
+        self._cancelled_pending = count
+        if (
+            self.auto_drain
+            and count >= loop_module.DRAIN_MIN_TOMBSTONES
+            and count * 2 >= len(self._heap)
+        ):
+            self.drain_cancelled()
+
+    def drain_cancelled(self) -> int:
+        """Remove cancelled events from the heap; returns how many dropped.
+
+        In-place compaction like the tuple core (safe under a running
+        ``run_until``); the freed slots return to the pool.
+        """
+        heap = self._heap
+        seqs = self._seqs
+        dead = self._dead
+        free_slot = self._free.append
+        before = len(heap)
+        kept = []
+        keep = kept.append
+        for entry in heap:
+            if len(entry) == 5 and dead[entry[4]]:
+                slot = entry[4]
+                seqs[slot] = _FREE_SEQ
+                dead[slot] = 0
+                free_slot(slot)
+            else:
+                keep(entry)
+        heap[:] = kept
+        heapify(heap)
+        dropped = before - len(heap)
+        self._cancelled_pending = 0
+        self._drained += dropped
+        return dropped

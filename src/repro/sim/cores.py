@@ -1,0 +1,82 @@
+"""Event-core selection: the ``tuple``/``array`` backend registry.
+
+Both cores dispatch callbacks in exactly the same order (the
+equivalence suite holds that line byte-for-byte), so which one a run
+uses is a pure performance knob — like ``auto_drain`` — and is
+deliberately **excluded** from campaign job payloads and cache keys:
+results computed by either core are interchangeable.
+
+Resolution order for a run:
+
+1. an explicit ``core=`` argument (``RunSpec.core`` →
+   ``build_cluster``), then
+2. the process-wide default set here (:func:`set_default_core`), which
+   the CLI seeds from ``--sim-core`` / the ``REPRO_SIM_CORE``
+   environment variable (read in ``repro.experiments.settings``, the
+   sanctioned env access point) and the campaign pool forwards to its
+   spawn workers.
+
+Tests flip the default with the :func:`use_core` context manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.sim.arraycore import ArrayEventLoop
+from repro.sim.loop import EventLoop
+
+#: The default core: per-event ``Event`` objects on a tuple-keyed heap.
+CORE_TUPLE = "tuple"
+#: The opt-in array-backed core (:mod:`repro.sim.arraycore`).
+CORE_ARRAY = "array"
+
+#: Core name -> loop class, in documentation order.
+CORES = {
+    CORE_TUPLE: EventLoop,
+    CORE_ARRAY: ArrayEventLoop,
+}
+
+_default_core = CORE_TUPLE
+
+
+def _validate(core: str) -> str:
+    if core not in CORES:
+        raise ValueError(
+            f"unknown event core {core!r}; choose from {', '.join(CORES)}"
+        )
+    return core
+
+
+def get_default_core() -> str:
+    """The core used when a loop is built without an explicit choice."""
+    return _default_core
+
+
+def set_default_core(core: str) -> str:
+    """Set the process-wide default core; returns the previous one."""
+    global _default_core
+    previous = _default_core
+    _default_core = _validate(core)
+    return previous
+
+
+@contextmanager
+def use_core(core: str) -> Iterator[None]:
+    """Temporarily switch the default core (equivalence tests)."""
+    previous = set_default_core(core)
+    try:
+        yield
+    finally:
+        set_default_core(previous)
+
+
+def make_loop(
+    core: Optional[str] = None,
+    start_time: float = 0.0,
+    auto_drain: bool | None = None,
+):
+    """Build an event loop of the requested (or default) core."""
+    name = _default_core if core is None else _validate(core)
+    return CORES[name](start_time=start_time, auto_drain=auto_drain)

@@ -274,6 +274,21 @@ FIXTURES = {
                 call_at(when, self.tick)
         """,
     ),
+    "PERF002": (
+        "repro.sim.loop",
+        """\
+        def run(self):
+            while self._heap:
+                handle = Event(self._heap.pop())
+        """,
+        """\
+        def run(self):
+            pool = self._handles
+            while self._heap:
+                entry = self._heap.pop()
+                pool[entry[4]].fire()
+        """,
+    ),
 }
 
 
@@ -348,11 +363,18 @@ def test_scopes_follow_the_architecture():
     # repro.cluster composes hubs, so OBS003 spares it.
     assert not rule_applies("OBS003", "repro.cluster.runner")
     assert rule_applies("OBS003", "repro.protocols.base")
-    # PERF001 polices only the dispatch/send hot paths.
+    # PERF001 polices the dispatch/send hot paths plus the shard-merge
+    # sample loops; PERF002's no-allocation contract is repro.sim only.
     assert rule_applies("PERF001", "repro.sim.loop")
+    assert rule_applies("PERF001", "repro.sim.arraycore")
     assert rule_applies("PERF001", "repro.net.network")
+    assert rule_applies("PERF001", "repro.campaign.shard")
     assert not rule_applies("PERF001", "repro.campaign.engine")
     assert not rule_applies("PERF001", "repro.protocols.paxos")
+    assert rule_applies("PERF002", "repro.sim.arraycore")
+    assert rule_applies("PERF002", "repro.sim.loop")
+    assert not rule_applies("PERF002", "repro.net.network")
+    assert not rule_applies("PERF002", "repro.campaign.shard")
     # PROTO guards topology consumers, never the protocol config itself.
     assert rule_applies("PROTO001", "repro.cluster.builder")
     assert rule_applies("PROTO003", "repro.experiments.common")
@@ -506,6 +528,71 @@ def test_perf001_fresh_function_scope_inside_loop():
 def test_perf001_out_of_scope_module_is_ignored():
     module, positive, _ = FIXTURES["PERF001"]
     assert active_rules(lint(positive, "repro.campaign.pool")) == []
+
+
+def test_perf002_flags_attribute_constructor_in_run_until():
+    source = """\
+    def run_until(self, horizon):
+        while self._heap:
+            entry = events.Record(self._heap.pop())
+            entry.apply()
+    """
+    assert "PERF002" in active_rules(lint(source, "repro.sim.arraycore"))
+
+
+def test_perf002_spares_non_dispatch_functions():
+    # The contract covers the dispatch loops only; a builder or a
+    # drain pass may allocate per item freely.
+    source = """\
+    def drain_cancelled(self):
+        kept = []
+        for entry in self._heap:
+            kept.append(Entry(entry))
+        return kept
+    """
+    assert active_rules(lint(source, "repro.sim.arraycore")) == []
+
+
+def test_perf002_spares_exception_constructors():
+    # Raise-path allocations fire at most once per loop lifetime.
+    source = """\
+    def run(self):
+        while self._heap:
+            if self._stopped:
+                raise StoppedError(self._now)
+            self.fire()
+    """
+    assert active_rules(lint(source, "repro.sim.loop")) == []
+
+
+def test_perf002_spares_constructors_outside_the_loop():
+    source = """\
+    def run(self):
+        snapshot = Snapshot(self._now)
+        while self._heap:
+            self.fire()
+        return snapshot
+    """
+    assert active_rules(lint(source, "repro.sim.loop")) == []
+
+
+def test_perf002_fresh_function_scope_inside_dispatch_loop():
+    # A def inside the dispatch loop body gets its own (non-dispatch)
+    # name and loop scope; constructors in it are not per-event cost
+    # of the enclosing loop.
+    source = """\
+    def run(self):
+        while self._heap:
+            def finish():
+                return Receipt(self._now)
+            self.fire(finish)
+    """
+    assert active_rules(lint(source, "repro.sim.loop")) == []
+
+
+def test_perf002_out_of_scope_module_is_ignored():
+    module, positive, _ = FIXTURES["PERF002"]
+    assert active_rules(lint(positive, "repro.net.network")) == []
 
 
 # -- baseline machinery -------------------------------------------------

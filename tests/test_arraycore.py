@@ -1,0 +1,379 @@
+"""Unit tests for the array-backed event core and core selection.
+
+The array core's contract is *observable equivalence* with the tuple
+core — same callbacks, same order, same counters — plus two documented
+handle-semantics differences (``call_after`` returns no handle; a
+pooled handle goes ``cancelled == True`` once stale).  Both halves are
+pinned here: behavioural parity by seeded fuzzing against
+:class:`repro.sim.loop.EventLoop`, the divergences as explicit tests so
+a future change to them is a deliberate act.
+"""
+
+import math
+import random
+
+import pytest
+
+import repro.sim.loop as loop_module
+from repro.sim.arraycore import INITIAL_SLOTS, ArrayEvent, ArrayEventLoop
+from repro.sim.cores import (
+    CORE_ARRAY,
+    CORE_TUPLE,
+    CORES,
+    get_default_core,
+    make_loop,
+    set_default_core,
+    use_core,
+)
+from repro.sim.errors import SchedulingError, StoppedError
+from repro.sim.loop import EventLoop
+from repro.sim.timers import RestartableTimer, Timer
+
+
+# -- basic dispatch (mirrors the tuple-core unit tests) -----------------
+
+
+def test_clock_starts_at_zero_and_at_given_time():
+    assert ArrayEventLoop().now == 0.0
+    assert ArrayEventLoop(start_time=5.0).now == 5.0
+
+
+def test_events_fire_in_time_order():
+    loop = ArrayEventLoop()
+    seen = []
+    loop.call_after(0.3, seen.append, "c")
+    loop.call_after(0.1, seen.append, "a")
+    loop.call_at(0.2, seen.append, "b")
+    loop.run_until(1.0)
+    assert seen == ["a", "b", "c"]
+    assert loop.now == 1.0
+    assert loop.dispatched_events == 3
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    loop = ArrayEventLoop()
+    seen = []
+    for label in range(10):
+        (loop.call_at if label % 2 else loop.call_after)(0.5, seen.append, label)
+    loop.run_until(1.0)
+    assert seen == list(range(10))
+
+
+def test_run_until_advances_clock_to_horizon_without_events():
+    loop = ArrayEventLoop()
+    loop.run_until(3.0)
+    assert loop.now == 3.0
+
+
+def test_events_beyond_horizon_stay_pending():
+    loop = ArrayEventLoop()
+    seen = []
+    loop.call_after(2.0, seen.append, "late")
+    loop.run_until(1.0)
+    assert seen == [] and loop.pending_events == 1
+    loop.run_until(2.5)
+    assert seen == ["late"]
+
+
+def test_run_drains_the_heap():
+    loop = ArrayEventLoop()
+    seen = []
+
+    def chain(k):
+        if k:
+            loop.call_after(0.1, chain, k - 1)
+        seen.append(k)
+
+    loop.call_after(0.0, chain, 3)
+    loop.run()
+    assert seen == [3, 2, 1, 0]
+    assert loop.pending_events == 0
+
+
+def test_stop_halts_dispatch_and_resume_continues():
+    loop = ArrayEventLoop()
+    seen = []
+    loop.call_after(0.1, seen.append, "a")
+    loop.call_after(0.2, loop.stop)
+    loop.call_after(0.3, seen.append, "b")
+    loop.run_until(1.0)
+    assert seen == ["a"] and loop.stopped and loop.now == 0.2
+    with pytest.raises(StoppedError):
+        loop.run_until(1.0)
+    with pytest.raises(StoppedError):
+        loop.run()
+    with pytest.raises(StoppedError):
+        loop.call_after(0.1, seen.append, "x")
+    with pytest.raises(StoppedError):
+        loop.call_at(0.5, seen.append, "x")
+    loop.resume()
+    loop.run_until(1.0)
+    assert seen == ["a", "b"]
+
+
+def test_scheduling_guards():
+    loop = ArrayEventLoop(start_time=1.0)
+    with pytest.raises(SchedulingError):
+        loop.call_at(0.5, lambda: None)
+    with pytest.raises(SchedulingError):
+        loop.call_after(-0.1, lambda: None)
+
+
+# -- handle semantics ---------------------------------------------------
+
+
+def test_call_after_returns_no_handle():
+    # Documented divergence: the fire-and-forget path has no handle.
+    assert ArrayEventLoop().call_after(0.1, lambda: None) is None
+
+
+def test_call_at_handle_reports_time_seq_and_cancels():
+    loop = ArrayEventLoop()
+    seen = []
+    handle = loop.call_at(0.5, seen.append, "doomed")
+    assert isinstance(handle, ArrayEvent)
+    assert handle.time == 0.5 and not handle.cancelled
+    handle.cancel()
+    assert handle.cancelled
+    handle.cancel()  # idempotent
+    loop.run_until(1.0)
+    assert seen == [] and loop.dispatched_events == 0
+
+
+def test_fired_handle_goes_stale():
+    # Documented divergence: a fired event's pooled handle reports
+    # cancelled=True ("can no longer be cancelled") and time=nan.
+    loop = ArrayEventLoop()
+    handle = loop.call_at(0.5, lambda: None)
+    loop.run_until(1.0)
+    assert handle.cancelled
+    assert math.isnan(handle.time)
+    handle.cancel()  # no-op, no error
+    assert loop.cancelled_pending == 0
+
+
+def test_reissued_slot_revalidates_the_same_pooled_handle():
+    # Documented divergence: handles are pooled per slot, so a reused
+    # slot hands back the *same object*, revalidated for the new event.
+    # A reference retained past its event's lifetime therefore aliases
+    # the slot's next occupant — which is why the contract says to use
+    # a handle only while its event is pending (timers do exactly that).
+    loop = ArrayEventLoop()
+    seen = []
+    stale = loop.call_at(0.1, lambda: None)
+    loop.run_until(0.2)
+    assert stale.cancelled and math.isnan(stale.time)
+    fresh = loop.call_at(0.5, seen.append, "live")
+    assert fresh is stale  # LIFO pool reuses the freed slot
+    assert not fresh.cancelled and fresh.time == 0.5
+    loop.run_until(1.0)
+    assert seen == ["live"]
+
+
+def test_handle_seq_increases_monotonically():
+    loop = ArrayEventLoop()
+    first = loop.call_at(0.1, lambda: None)
+    loop.call_after(0.2, lambda: None)
+    second = loop.call_at(0.3, lambda: None)
+    assert second.seq > first.seq
+
+
+# -- slot pool ----------------------------------------------------------
+
+
+def test_slots_are_reused_in_steady_state():
+    loop = ArrayEventLoop()
+    for step in range(4 * INITIAL_SLOTS):
+        loop.call_at(loop.now + 0.001, lambda: None)
+        loop.run_until(loop.now + 0.002)
+    assert loop.allocated_slots == INITIAL_SLOTS
+
+
+def test_lanes_grow_when_pending_exceeds_capacity():
+    loop = ArrayEventLoop()
+    seen = []
+    for index in range(INITIAL_SLOTS + 1):
+        loop.call_at(0.5 + index * 1e-6, seen.append, index)
+    assert loop.allocated_slots == 2 * INITIAL_SLOTS
+    loop.run_until(1.0)
+    assert seen == list(range(INITIAL_SLOTS + 1))
+    # Growth is permanent but one-way: the next burst fits.
+    for index in range(2 * INITIAL_SLOTS):
+        loop.call_at(loop.now + 0.5, seen.append, index)
+    assert loop.allocated_slots == 2 * INITIAL_SLOTS
+
+
+def test_grown_handles_work_like_initial_ones():
+    loop = ArrayEventLoop()
+    handles = [loop.call_at(0.5, lambda: None) for _ in range(INITIAL_SLOTS + 8)]
+    late = handles[-1]
+    assert late._slot >= INITIAL_SLOTS
+    late.cancel()
+    assert late.cancelled and loop.cancelled_pending == 1
+
+
+# -- tombstones and draining -------------------------------------------
+
+
+def test_auto_drain_default_follows_the_tuple_core_module(monkeypatch):
+    monkeypatch.setattr(loop_module, "AUTO_DRAIN_DEFAULT", False)
+    assert ArrayEventLoop().auto_drain is False
+    monkeypatch.setattr(loop_module, "AUTO_DRAIN_DEFAULT", True)
+    assert ArrayEventLoop().auto_drain is True
+    assert ArrayEventLoop(auto_drain=False).auto_drain is False
+
+
+def test_explicit_drain_removes_tombstones_and_frees_slots():
+    loop = ArrayEventLoop(auto_drain=False)
+    keep = loop.call_at(0.9, lambda: None)
+    doomed = [loop.call_at(0.5 + i * 1e-6, lambda: None) for i in range(10)]
+    for handle in doomed:
+        handle.cancel()
+    assert loop.cancelled_pending == 10 and loop.pending_events == 11
+    free_before = len(loop._free)
+    assert loop.drain_cancelled() == 10
+    assert loop.pending_events == 1
+    assert loop.cancelled_pending == 0
+    assert loop.drained_tombstones == 10
+    assert len(loop._free) == free_before + 10
+    assert not keep.cancelled
+    # Drained handles are stale, like fired ones.
+    assert all(handle.cancelled for handle in doomed)
+
+
+def test_auto_drain_threshold_matches_the_tuple_core(monkeypatch):
+    # Both cores read DRAIN_MIN_TOMBSTONES off repro.sim.loop, so the
+    # equivalence suite's monkeypatching governs the drain *sequence*
+    # of both.  Drain fires once tombstones hit the minimum AND make up
+    # half the heap.
+    monkeypatch.setattr(loop_module, "DRAIN_MIN_TOMBSTONES", 4)
+    loop = ArrayEventLoop(auto_drain=True)
+    handles = [loop.call_at(0.5 + i * 1e-6, lambda: None) for i in range(8)]
+    for handle in handles[:3]:
+        handle.cancel()
+    assert loop.drained_tombstones == 0
+    handles[3].cancel()
+    assert loop.drained_tombstones == 4
+    assert loop.cancelled_pending == 0
+
+
+def test_cancelled_events_do_not_dispatch_without_drain():
+    loop = ArrayEventLoop(auto_drain=False)
+    seen = []
+    doomed = loop.call_at(0.5, seen.append, "doomed")
+    loop.call_at(0.6, seen.append, "kept")
+    doomed.cancel()
+    loop.run_until(1.0)
+    assert seen == ["kept"]
+    assert loop.dispatched_events == 1
+    assert loop.cancelled_pending == 0  # consumed as a tombstone pop
+
+
+# -- timers on the array core ------------------------------------------
+
+
+def test_timer_fires_and_cancels_on_array_core():
+    loop = ArrayEventLoop()
+    seen = []
+    timer = Timer(loop, seen.append, "fired")
+    timer.start(0.5)
+    cancelled = Timer(loop, seen.append, "never")
+    cancelled.start(0.4)
+    cancelled.cancel()
+    loop.run_until(1.0)
+    assert seen == ["fired"]
+
+
+def test_restartable_timer_on_array_core():
+    loop = ArrayEventLoop()
+    seen = []
+    timer = RestartableTimer(loop, 0.5, seen.append, "expired")
+    timer.start()
+    for step in range(5):
+        loop.run_until(0.1 * (step + 1))
+        timer.restart()
+    loop.run_until(2.0)
+    assert seen == ["expired"]
+
+
+# -- seeded fuzz parity with the tuple core ----------------------------
+
+
+def _fuzz_trace(loop, seed: int, steps: int = 400):
+    """Drive a random schedule; return the observable dispatch trace."""
+    rng = random.Random(seed)
+    seen = []
+    handles = []
+
+    def note(tag):
+        seen.append((round(loop.now, 9), tag))
+        # Nested scheduling from inside callbacks, like real protocol code.
+        if rng.random() < 0.3:
+            loop.call_after(rng.random() * 0.05, note, f"{tag}+")
+
+    for step in range(steps):
+        roll = rng.random()
+        if roll < 0.45:
+            loop.call_after(rng.random() * 0.2, note, f"a{step}")
+        elif roll < 0.8:
+            when = loop.now + rng.random() * 0.2
+            handles.append((when, loop.call_at(when, note, f"t{step}")))
+        elif handles and roll < 0.95:
+            when, victim = handles.pop(rng.randrange(len(handles)))
+            # Cancel only while the event is still pending — the
+            # pooled-handle contract (and what timers actually do).
+            if when > loop.now:
+                victim.cancel()
+        else:
+            loop.run_until(loop.now + rng.random() * 0.05)
+    loop.run()
+    return seen
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_fuzzed_schedules_dispatch_identically_on_both_cores(seed):
+    tuple_loop = EventLoop()
+    array_loop = ArrayEventLoop()
+    tuple_trace = _fuzz_trace(tuple_loop, seed)
+    array_trace = _fuzz_trace(array_loop, seed)
+    assert array_trace == tuple_trace
+    assert array_loop.dispatched_events == tuple_loop.dispatched_events
+    assert array_loop.peak_heap == tuple_loop.peak_heap
+    assert array_loop.drained_tombstones == tuple_loop.drained_tombstones
+    assert array_loop.now == tuple_loop.now
+
+
+# -- core selection (repro.sim.cores) ----------------------------------
+
+
+def test_core_registry_and_make_loop():
+    assert set(CORES) == {CORE_TUPLE, CORE_ARRAY}
+    assert type(make_loop(CORE_TUPLE)) is EventLoop
+    assert type(make_loop(CORE_ARRAY)) is ArrayEventLoop
+    assert make_loop(CORE_ARRAY, start_time=2.0).now == 2.0
+    assert make_loop(CORE_TUPLE, auto_drain=False).auto_drain is False
+
+
+def test_unknown_core_is_rejected():
+    with pytest.raises(ValueError):
+        make_loop("linkedlist")
+    with pytest.raises(ValueError):
+        set_default_core("linkedlist")
+
+
+def test_default_core_and_use_core_scoping():
+    assert get_default_core() == CORE_TUPLE
+    assert type(make_loop(None)) is EventLoop
+    with use_core(CORE_ARRAY):
+        assert get_default_core() == CORE_ARRAY
+        assert type(make_loop(None)) is ArrayEventLoop
+        # An explicit core always beats the ambient default.
+        assert type(make_loop(CORE_TUPLE)) is EventLoop
+    assert get_default_core() == CORE_TUPLE
+
+
+def test_use_core_restores_on_error():
+    with pytest.raises(RuntimeError):
+        with use_core(CORE_ARRAY):
+            raise RuntimeError("boom")
+    assert get_default_core() == CORE_TUPLE

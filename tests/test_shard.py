@@ -1,0 +1,350 @@
+"""Sharded campaign execution: planning, exact merge, determinism.
+
+The shard layer's contract (see ``repro/campaign/shard.py``) has three
+legs, each pinned here: the *plan* is balanced and shard-aware in the
+cache key; the *merge* is exact (recomputed from pooled raw samples,
+not a summary-of-summaries); and the merged result is a pure function
+of the shard plan — byte-identical across worker counts and hash
+seeds.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.cache import result_fingerprint
+from repro.campaign.plan import KIND_CELL, KIND_SHARD, KIND_SIM, Job, sim_job, spec_to_payload
+from repro.campaign.pool import execute_jobs
+from repro.campaign.shard import (
+    SHARD_SEED_STRIDE,
+    merge_shard_groups,
+    merge_shard_results,
+    run_sharded,
+    shard_campaign_jobs,
+    shard_payloads,
+    shardable_reason,
+)
+from repro.cluster.runner import RunSpec
+from repro.sim.monitor import SummaryStats
+from repro.workload.open_loop import ArrivalSpec
+
+
+def tiny_spec(**overrides) -> RunSpec:
+    values = dict(system="idem", clients=4, duration=0.3, warmup=0.1, seed=3)
+    values.update(overrides)
+    return RunSpec(**values)
+
+
+def tiny_payload(**overrides) -> dict:
+    return spec_to_payload(tiny_spec(**overrides))
+
+
+# -- planning -----------------------------------------------------------
+
+
+class TestShardPlanning:
+    def test_clients_split_evenly_remainder_to_earliest(self):
+        payloads = shard_payloads(tiny_payload(clients=10), 4)
+        assert [p["clients"] for p in payloads] == [3, 3, 2, 2]
+        assert sum(p["clients"] for p in payloads) == 10
+
+    def test_cohort_seeds_offset_by_the_stride(self):
+        payloads = shard_payloads(tiny_payload(seed=3), 2)
+        assert [p["seed"] for p in payloads] == [
+            3 + SHARD_SEED_STRIDE,
+            3 + 2 * SHARD_SEED_STRIDE,
+        ]
+
+    def test_cohorts_force_keep_metrics_and_carry_the_descriptor(self):
+        payloads = shard_payloads(tiny_payload(), 2)
+        assert all(p["keep_metrics"] for p in payloads)
+        assert [p["shard"] for p in payloads] == [
+            {"index": 0, "of": 2},
+            {"index": 1, "of": 2},
+        ]
+
+    def test_open_loop_rates_scale_to_the_cohort_share(self):
+        arrivals = ArrivalSpec(steps=((0.0, 100.0), (0.5, 200.0)))
+        payloads = shard_payloads(tiny_payload(clients=3, arrivals=arrivals), 2)
+        big, small = 2 / 3, 1 / 3
+        assert payloads[0]["arrivals"]["steps"] == [[0.0, 100.0 * big], [0.5, 200.0 * big]]
+        assert payloads[1]["arrivals"]["steps"] == [[0.0, 100.0 * small], [0.5, 200.0 * small]]
+
+    def test_shard_keys_differ_from_the_base_and_each_other(self):
+        base = sim_job("t", tiny_spec())
+        jobs, groups = shard_campaign_jobs([base], 2)
+        keys = {job.key for job in jobs}
+        assert len(keys) == 2 and base.key not in keys
+        assert groups == {base.key: (base, [jobs[0].key, jobs[1].key])}
+        assert [job.kind for job in jobs] == [KIND_SHARD, KIND_SHARD]
+        assert jobs[0].label == f"{base.label}#shard0of2"
+        assert jobs[1].label == f"{base.label}#shard1of2"
+
+    @pytest.mark.parametrize(
+        "overrides, phrase",
+        [
+            (dict(safety=True), "safety"),
+            (dict(probes=True), "probe"),
+            (dict(keep_metrics=True), "metrics collector"),
+        ],
+    )
+    def test_intrinsic_guards(self, overrides, phrase):
+        payload = tiny_payload(**overrides)
+        reason = shardable_reason(payload)
+        assert reason is not None and phrase in reason
+        with pytest.raises(ValueError, match="not shardable"):
+            shard_payloads(payload, 2)
+
+    def test_fault_and_schedule_guards(self):
+        # Faults/schedules round-trip through the payload as dicts; the
+        # guard keys off presence, so poke the payload directly.
+        payload = tiny_payload()
+        payload["faults"] = {"events": []}
+        assert "fault" in shardable_reason(payload)
+        payload = tiny_payload()
+        payload["schedule"] = {"kind": "constant"}
+        assert "schedule" in shardable_reason(payload)
+
+    def test_too_few_clients_and_too_few_shards_raise(self):
+        with pytest.raises(ValueError, match="cohorts"):
+            shard_payloads(tiny_payload(clients=2), 3)
+        with pytest.raises(ValueError, match="at least 2"):
+            shard_payloads(tiny_payload(), 1)
+
+    def test_campaign_transform_passes_through_what_it_cannot_shard(self):
+        cell = Job(experiment_id="t", kind=KIND_CELL, payload={"x": 1}, label="cell")
+        guarded = sim_job("t", tiny_spec(safety=True))
+        small = sim_job("t", tiny_spec(clients=1))
+        shardable = sim_job("t", tiny_spec())
+        jobs, groups = shard_campaign_jobs([cell, guarded, small, shardable], 2)
+        assert jobs[:3] == [cell, guarded, small]
+        assert len(jobs) == 5
+        assert set(groups) == {shardable.key}
+
+    def test_shards_of_one_is_the_identity(self):
+        base = sim_job("t", tiny_spec())
+        jobs, groups = shard_campaign_jobs([base], 1)
+        assert jobs == [base] and groups == {}
+
+
+# -- exact merge --------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sharded_reference():
+    """One serial 2-way sharded run, shared by the merge tests."""
+    payload = tiny_payload()
+    from repro.campaign.pool import execute_payload
+
+    cohorts = [
+        execute_payload(KIND_SHARD, shard_payload)
+        for shard_payload in shard_payloads(payload, 2)
+    ]
+    return payload, cohorts, merge_shard_results(payload, cohorts)
+
+
+class TestShardMerge:
+    def test_latency_recomputed_from_pooled_raw_samples(self, sharded_reference):
+        _, cohorts, merged = sharded_reference
+        pooled = []
+        for cohort in cohorts:
+            pooled.extend(cohort.metrics.reply_latency.samples)
+        assert merged.latency == SummaryStats.of(pooled)
+
+    def test_rates_counters_and_traffic_sum(self, sharded_reference):
+        _, cohorts, merged = sharded_reference
+        assert merged.throughput == sum(c.throughput for c in cohorts)
+        assert merged.timeouts == sum(c.timeouts for c in cohorts)
+        for key, value in merged.traffic.items():
+            assert value == sum(c.traffic.get(key, 0) for c in cohorts)
+        assert len(merged.replica_stats) == sum(
+            len(c.replica_stats) for c in cohorts
+        )
+
+    def test_identity_fields_come_from_the_base_payload(self, sharded_reference):
+        payload, _, merged = sharded_reference
+        assert merged.clients == payload["clients"]
+        assert merged.seed == payload["seed"]
+        assert merged.system == payload["system"]
+        assert merged.metrics is None
+
+    def test_sim_stats_sum_except_peak_heap(self, sharded_reference):
+        _, cohorts, merged = sharded_reference
+        assert merged.sim_stats["dispatched_events"] == sum(
+            c.sim_stats["dispatched_events"] for c in cohorts
+        )
+        assert merged.sim_stats["peak_heap"] == max(
+            c.sim_stats["peak_heap"] for c in cohorts
+        )
+        assert merged.sim_stats["shards"] == 2
+
+    def test_client_stats_sum_and_amplification_recomputes(self, sharded_reference):
+        _, cohorts, merged = sharded_reference
+        sends = sum(c.client_stats["sends"] for c in cohorts)
+        commands = sum(c.client_stats["commands"] for c in cohorts)
+        assert merged.client_stats["sends"] == sends
+        assert merged.client_stats["load_amplification"] == sends / commands
+
+    def test_merge_guards(self, sharded_reference):
+        import dataclasses
+
+        payload, cohorts, _ = sharded_reference
+        with pytest.raises(ValueError, match="zero shard"):
+            merge_shard_results(payload, [])
+        stripped = dataclasses.replace(cohorts[0], metrics=None)
+        with pytest.raises(ValueError, match="no metrics collector"):
+            merge_shard_results(payload, [stripped, cohorts[1]])
+
+
+# -- determinism across workers and hash seeds -------------------------
+
+
+class TestShardDeterminism:
+    @pytest.fixture(scope="class")
+    def serial_fingerprint(self):
+        return result_fingerprint(run_sharded(tiny_payload(), 4))
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_pool_execution_matches_the_serial_reference(
+        self, workers, serial_fingerprint
+    ):
+        base = sim_job("t", tiny_spec())
+        jobs, groups = shard_campaign_jobs([base], 4)
+        results, stats = execute_jobs(jobs, workers=workers, cache=None)
+        merge_shard_groups(results, groups)
+        assert result_fingerprint(results[base.key]) == serial_fingerprint
+
+    def test_merge_is_invariant_to_result_arrival_order(self):
+        base = sim_job("t", tiny_spec())
+        jobs, groups = shard_campaign_jobs([base], 4)
+        results, _ = execute_jobs(jobs, workers=1, cache=None)
+        scrambled = dict(reversed(list(results.items())))
+        merge_shard_groups(results, groups)
+        merge_shard_groups(scrambled, groups)
+        assert result_fingerprint(scrambled[base.key]) == result_fingerprint(
+            results[base.key]
+        )
+
+    def test_fingerprint_is_hash_seed_invariant(self, serial_fingerprint):
+        """A fresh interpreter with a different PYTHONHASHSEED reproduces
+        the exact merged fingerprint — no dict/set iteration order leaks
+        into the sharded result."""
+        script = (
+            "from repro.campaign.cache import result_fingerprint\n"
+            "from repro.campaign.shard import run_sharded\n"
+            "from repro.campaign.plan import spec_to_payload\n"
+            "from repro.cluster.runner import RunSpec\n"
+            "payload = spec_to_payload(RunSpec(system='idem', clients=4, "
+            "duration=0.3, warmup=0.1, seed=3))\n"
+            "print(result_fingerprint(run_sharded(payload, 4)))\n"
+        )
+        fingerprints = set()
+        for hash_seed in ("1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+            output = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            fingerprints.add(output)
+        fingerprints.add(serial_fingerprint)
+        assert len(fingerprints) == 1
+
+
+# -- the campaign engine end to end ------------------------------------
+
+
+class TestShardedCampaign:
+    SETTINGS = dict(quick=True, runs=1, duration=0.25, seed0=0)
+
+    def test_sharded_campaign_is_reproducible_and_caches(self, tmp_path):
+        from repro.campaign import CampaignOptions, run_campaign
+        from repro.campaign.report import render_shards, report_jsonable
+
+        options = CampaignOptions(
+            experiments=["fig2"],
+            jobs=2,
+            shards=2,
+            cache_dir=tmp_path / "cache",
+            **self.SETTINGS,
+        )
+        cold = run_campaign(options)
+        assert cold.exit_code == 0
+        warm = run_campaign(options)
+        assert {o.experiment_id: o.text for o in warm.outcomes} == {
+            o.experiment_id: o.text for o in cold.outcomes
+        }
+        assert warm.stats.executed == 0 and warm.stats.hit_rate == 1.0
+        # Shard jobs surface in the report machinery.
+        assert report_jsonable(cold)["stats"]["shards"] == 2
+        shard_table = render_shards(cold)
+        assert "#shard" not in shard_table and "shard0of2" in shard_table
+
+    def test_sharded_results_differ_from_unsharded_but_are_self_consistent(
+        self, tmp_path
+    ):
+        # The contract: sharding changes the modelled deployment (K
+        # cohorts), so results legitimately differ from the monolithic
+        # run — while the sharded run itself is exactly reproducible.
+        from repro.campaign import CampaignOptions, run_campaign
+
+        unsharded = run_campaign(
+            CampaignOptions(experiments=["fig2"], jobs=1, **self.SETTINGS)
+        )
+        sharded = run_campaign(
+            CampaignOptions(experiments=["fig2"], jobs=1, shards=2, **self.SETTINGS)
+        )
+        assert sharded.exit_code == 0
+        assert unsharded.outcomes[0].text != sharded.outcomes[0].text
+
+    def test_gc_keeps_what_the_sharded_manifest_references(self, tmp_path):
+        from repro.campaign import (
+            CampaignOptions,
+            ResultCache,
+            collect_garbage,
+            run_campaign,
+        )
+
+        cache_dir = tmp_path / "cache"
+        options = CampaignOptions(
+            experiments=["fig2"],
+            jobs=1,
+            shards=2,
+            cache_dir=cache_dir,
+            **self.SETTINGS,
+        )
+        run_campaign(options)
+        cache = ResultCache(cache_dir)
+        entries_before, _ = cache.size()
+        assert entries_before > 0
+        report = collect_garbage(cache, keep_runs=5)
+        assert report.removed == 0
+        assert cache.size()[0] == entries_before
+        # A rerun resolves entirely from the kept entries.
+        warm = run_campaign(options)
+        assert warm.stats.executed == 0
+
+    def test_cli_shards_flag_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = [
+            "campaign", "--experiments", "fig2", "--quick", "--runs", "1",
+            "--duration", "0.25", "--jobs", "1", "--shards", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--report", str(tmp_path / "report.json"),
+        ]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "shards      : 2" in err
+        assert "Shard profiles" in err
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["stats"]["shards"] == 2
+        labels = [p["label"] for p in report["job_profiles"]]
+        assert any("#shard0of2" in label for label in labels)
